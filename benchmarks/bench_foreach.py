@@ -1,0 +1,107 @@
+"""E1/E2: the section-3 foreach example and the optimized VForEach.
+
+E1 regenerates the paper's expansion (the for-loop over an Enumeration
+with the hygienic enumVar$) and times compilation; E2 reproduces the
+optimization claim — "this code can avoid both object allocation and
+method calls" — by comparing interpreter operation counts of the
+generic (EForEach) and specialized (VForEach) expansions of the *same*
+source, selected purely by multiple dispatch.
+"""
+
+import pytest
+
+from conftest import compile_and_run, make_compiler, report
+
+HASHTABLE_DEMO = """
+    import java.util.*;
+    class Demo {
+        static void main() {
+            use maya.util.ForEach;
+            Hashtable h = new Hashtable();
+            h.put("one", "1");
+            h.put("two", "2");
+            h.keys().foreach(String st) {
+                System.err.println(st + " = " + h.get(st));
+            }
+        }
+    }
+"""
+
+
+def loop_source(vector_class: str, size: int) -> str:
+    return f"""
+        import java.util.*;
+        class Demo {{
+            static void main() {{
+                use maya.util.ForEach;
+                {vector_class} v = new {vector_class}();
+                for (int i = 0; i < {size}; i++) v.addElement("item");
+                int n = 0;
+                v.elements().foreach(String s) {{
+                    n = n + s.length();
+                }}
+            }}
+        }}
+    """
+
+
+def test_e1_expansion_matches_paper(benchmark):
+    """The compile pipeline produces exactly the paper's loop shape."""
+    program = benchmark(
+        lambda: make_compiler(macros=True).compile(HASHTABLE_DEMO)
+    )
+    source = program.source()
+    assert "for (java.util.Enumeration enumVar$" in source
+    assert "hasMoreElements" in source
+    report("E1: section-3 foreach expansion (fragment)", [
+        [line.strip()] for line in source.splitlines()
+        if "enumVar$" in line or "nextElement" in line
+    ])
+
+
+@pytest.mark.parametrize("size", [100])
+def test_e2_vforeach_saves_operations(benchmark, size):
+    """Paper section 3: the maya.util.Vector expansion avoids the
+    Enumeration allocation and per-element method calls."""
+    generic = compile_and_run(loop_source("java.util.Vector", size),
+                              macros=True)
+    optimized = compile_and_run(loop_source("maya.util.Vector", size),
+                                macros=True)
+
+    g = generic.counters
+    o = optimized.counters
+    report(
+        f"E2: foreach operation counts (N={size})",
+        [
+            ["EForEach (java.util.Vector)", g.allocations, g.method_calls],
+            ["VForEach (maya.util.Vector)", o.allocations, o.method_calls],
+            ["savings", g.allocations - o.allocations,
+             g.method_calls - o.method_calls],
+        ],
+        header=["expansion", "allocations", "method calls"],
+    )
+    # Shape of the paper's claim: strictly fewer allocations and calls,
+    # and the call savings grow with N (hasMoreElements+nextElement per
+    # element are gone).
+    assert o.allocations < g.allocations
+    assert g.method_calls - o.method_calls >= 2 * size
+
+    benchmark(lambda: compile_and_run(
+        loop_source("maya.util.Vector", size), macros=True))
+
+
+def test_e2_interpreted_runtime(benchmark):
+    """Wall-clock comparison of the two expansions' execution."""
+    compiler = make_compiler(macros=True)
+    program_g = compiler.compile(
+        loop_source("java.util.Vector", 300).replace("class Demo", "class DemoG"))
+    program_o = compiler.compile(
+        loop_source("maya.util.Vector", 300).replace("class Demo", "class DemoO"))
+
+    from repro.interp import Interpreter
+
+    def run_both():
+        Interpreter(program_g).run_static("DemoG")
+        Interpreter(program_o).run_static("DemoO")
+
+    benchmark(run_both)

@@ -1,0 +1,109 @@
+"""E4/E12: lazy parsing — the figure-4 pipeline's payoff.
+
+The stream lexer finds member boundaries without parsing bodies, so
+shaping a class is much cheaper than compiling it.  We measure shaping
+(parse + member signatures, bodies left as thunks) against full
+compilation (bodies forced and checked) for a generated many-method
+class, and the cost of grammar regeneration after a mid-file ``use``.
+"""
+
+from conftest import make_compiler, report
+
+from repro.ast import nodes as n
+from repro.core import CompileContext, CompileEnv
+from repro.lalr import Parser
+from repro.lexer import stream_lex
+
+
+def big_class(methods: int) -> str:
+    body = "\n".join(
+        f"""
+        int method{i}(int a, int b) {{
+            int total = 0;
+            for (int j = 0; j < a; j++) {{
+                total = total + j * b - (a / (b + 1));
+                if (total > 1000) total = total - 999;
+            }}
+            return total;
+        }}
+        """
+        for i in range(methods)
+    )
+    return f"class Big {{ {body} }}"
+
+
+def shape_only(source: str):
+    """Parse the class; bodies stay lazy (the shaper's view)."""
+    ctx = CompileContext(CompileEnv())
+    parser = Parser(ctx.env.tables(), ctx)
+    decl, _ = parser.parse("TypeDeclaration", stream_lex(source))
+    lazy = sum(1 for m in decl.members
+               if isinstance(m, n.MethodDecl)
+               and isinstance(m.body, n.LazyNode))
+    return decl, lazy
+
+
+def test_e4_shaping_cheaper_than_compiling(benchmark):
+    import time
+
+    source = big_class(40)
+
+    start = time.perf_counter()
+    decl, lazy_count = shape_only(source)
+    shape_time = time.perf_counter() - start
+    assert lazy_count == 40  # every body is a thunk
+
+    start = time.perf_counter()
+    make_compiler().compile(source)
+    full_time = time.perf_counter() - start
+
+    report("E4: lazy shaping vs full compilation (40 methods)", [
+        ["shape only (bodies lazy)", f"{shape_time * 1e3:.1f} ms"],
+        ["full compile (bodies forced)", f"{full_time * 1e3:.1f} ms"],
+        ["ratio", f"{full_time / shape_time:.1f}x"],
+    ])
+    assert shape_time < full_time
+
+    benchmark(lambda: shape_only(source))
+
+
+def test_e12_mid_method_grammar_extension(benchmark):
+    """A use directive mid-method re-derives tables for the remaining
+    statements; the fingerprint cache amortizes repeats."""
+    source = """
+        import java.util.*;
+        class Demo {
+            static void main() {
+                Vector v = new Vector();
+                v.addElement("a");
+                use maya.util.ForEach;
+                v.elements().foreach(String s) {
+                    System.out.println(s);
+                }
+            }
+        }
+    """
+
+    def compile_with_extension():
+        return make_compiler(macros=True).compile(source)
+
+    program = benchmark(compile_with_extension)
+    assert "hasMoreElements" in program.source()
+    report("E12: mid-method use directive", [
+        ["statements before use", "parsed with the base grammar"],
+        ["statements after use", "parsed with foreach production added"],
+    ])
+
+
+def test_e4_unparsed_bodies_cost_nothing(benchmark):
+    """A body full of junk tokens shapes fine — it is never parsed
+    unless compiled, the defining property of lazy parsing."""
+    source = """
+        class Partial {
+            int good() { return 1; }
+            int never() { this body is @@ not ~~ java at all }
+        }
+    """
+    decl, lazy_count = shape_only(source)
+    assert lazy_count == 2
+    benchmark(lambda: shape_only(source))

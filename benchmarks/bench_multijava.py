@@ -1,0 +1,168 @@
+"""E9: MultiJava — translation correctness and dispatcher cost.
+
+Regenerates the paper's section-5.2 class-D translation, measures the
+Maya-based MultiJava compile, and compares the generated figure-8
+dispatcher against the hand-built baseline (the analogue of patching
+the compiler directly, section 5.3's comparison axis).
+"""
+
+from conftest import compile_and_run, make_compiler, report
+
+from repro.interp import Interpreter
+from repro.multijava import DirectMultimethodCompiler
+
+PAPER_EXAMPLE = """
+    use multijava.MultiJava;
+    class C { }
+    class D extends C {
+        int m(C c) { return 0; }
+        int m(C@D c) { return 1; }
+    }
+    class Demo {
+        static void main() {
+            D d = new D();
+            int total = 0;
+            for (int i = 0; i < 200; i++) {
+                total += d.m(new C()) + d.m(new D());
+            }
+            System.out.println(total);
+        }
+    }
+"""
+
+
+def test_e9_paper_translation(benchmark):
+    program = benchmark(
+        lambda: make_compiler(multijava=True).compile(PAPER_EXAMPLE))
+    source = program.source()
+    rows = [[line.strip()] for line in source.splitlines()
+            if "$impl" in line or "instanceof" in line]
+    report("E9: section-5.2 class D translation", rows)
+    assert "private int m$impl1(C c)" in source
+    assert "instanceof D" in source
+
+
+def test_e9_runtime_dispatch(benchmark):
+    def run():
+        return compile_and_run(PAPER_EXAMPLE, multijava=True)
+
+    interp = benchmark(run)
+    assert interp.output == ["200"]
+
+
+def test_e9_generated_vs_baseline_dispatcher(benchmark):
+    """The Maya-generated dispatcher and the hand-built baseline must
+    agree — and cost the same at runtime (both are instanceof chains)."""
+    # Maya-generated version.
+    maya_program = make_compiler(multijava=True).compile("""
+        use multijava.MultiJava;
+        class C { }
+        class D extends C { }
+        class E extends D { }
+        class Host {
+            int m(C c) { return 0; }
+            int m(C@D c) { return 1; }
+            int m(C@E c) { return 2; }
+        }
+        class Demo {
+            static int go() {
+                Host h = new Host();
+                int total = 0;
+                for (int i = 0; i < 100; i++) {
+                    total += h.m(new C()) + h.m(new D()) + h.m(new E());
+                }
+                return total;
+            }
+        }
+    """)
+    maya_interp = Interpreter(maya_program)
+    maya_result = maya_interp.run_static("Demo", "go")
+
+    # Baseline: same impls, dispatcher hand-built without Maya.  The
+    # dispatcher is attached between the two compiles (the unit that
+    # calls it must see it).
+    base_compiler = make_compiler()
+    base_program = base_compiler.compile("""
+        class C { }
+        class D extends C { }
+        class E extends D { }
+        class Host {
+            int m$1(C c) { return 0; }
+            int m$2(D c) { return 1; }
+            int m$3(E c) { return 2; }
+        }
+    """)
+    registry = base_program.env.registry
+    host = registry.require("Host")
+    from repro.types import INT
+
+    direct = DirectMultimethodCompiler(
+        host, "m", [registry.require("C")], INT)
+    direct.add_case([None], "m$1")
+    direct.add_case([registry.require("D")], "m$2")
+    direct.add_case([registry.require("E")], "m$3")
+    dispatcher = direct.build_dispatcher()
+    method = host.declare_method(
+        "m", [registry.require("C")], INT, ("public",), decl=dispatcher)
+    dispatcher.method = method
+    # Bind and check the generated body.
+    from repro.typecheck import Scope, check_block
+
+    scope = Scope(env=base_program.env).class_scope(host) \
+        .method_scope(host, False, INT)
+    for formal, param_type in zip(dispatcher.formals, method.param_types):
+        formal.scope = scope
+        scope.define(formal.name.name, param_type, "param", formal)
+    check_block(dispatcher.body, scope)
+
+    base_program = base_compiler.compile("""
+        class Demo {
+            static int go() {
+                Host h = new Host();
+                int total = 0;
+                for (int i = 0; i < 100; i++) {
+                    total += h.m(new C()) + h.m(new D()) + h.m(new E());
+                }
+                return total;
+            }
+        }
+    """)
+    base_interp = Interpreter(base_program)
+    base_result = base_interp.run_static("Demo", "go")
+
+    assert maya_result == base_result == 300
+
+    maya_ops = None
+
+    def timed():
+        interp = Interpreter(maya_program)
+        interp.run_static("Demo", "go")
+        return interp.counters.method_calls
+
+    maya_ops = benchmark(timed)
+    base_ops_interp = Interpreter(base_program)
+    base_ops_interp.run_static("Demo", "go")
+    report("E9: generated vs hand-built dispatcher", [
+        ["maya-generated result", maya_result],
+        ["baseline result", base_result],
+        ["maya method calls", maya_ops],
+        ["baseline method calls", base_ops_interp.counters.method_calls],
+    ])
+
+
+def test_e9_open_class_compile(benchmark):
+    source = """
+        use multijava.MultiJava;
+        class Shape { }
+        class Circle extends Shape { }
+        int Shape.sides() { return 0; }
+        int Circle.sides() { return 1; }
+        class Demo {
+            static void main() {
+                Shape s = new Circle();
+                System.out.println(s.sides());
+            }
+        }
+    """
+    interp = benchmark(lambda: compile_and_run(source, multijava=True))
+    assert interp.output == ["1"]

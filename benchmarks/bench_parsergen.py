@@ -1,0 +1,70 @@
+"""E11: the LALR(1) parser generator.
+
+Times table generation for the base Java grammar and for the grammar
+after the macro library's extensions, and shows the fingerprint cache
+that makes mid-compile regeneration affordable.
+"""
+
+from conftest import make_compiler, report
+
+from repro.javalang import base_grammar
+from repro.lalr import build_tables
+from repro.lalr.tables import tables_for
+from repro.macros.foreach import ForEach
+from repro.core import CompileEnv
+
+
+def test_e11_base_grammar_generation(benchmark):
+    grammar = base_grammar()
+    tables = benchmark(lambda: build_tables(grammar))
+    report("E11: base Java-subset grammar", [
+        ["productions", len(grammar.productions)],
+        ["LR(0) states", len(tables.automaton.states)],
+    ])
+
+
+def test_e11_extended_grammar_generation(benchmark):
+    env = CompileEnv()
+    ForEach().run(env)
+    tables = benchmark(lambda: build_tables(env.grammar))
+    base = base_grammar()
+    report("E11: grammar after foreach extension", [
+        ["base productions", len(base.productions)],
+        ["extended productions", len(env.grammar.productions)],
+        ["states", len(tables.automaton.states)],
+    ])
+    assert len(env.grammar.productions) > len(base.productions)
+
+
+def test_e11_fingerprint_cache(benchmark):
+    """Re-requesting tables for an unchanged grammar is O(1)."""
+    env = CompileEnv()
+    tables_for(env.grammar)  # warm
+
+    def cached_lookup():
+        for _ in range(1000):
+            tables_for(env.grammar)
+
+    benchmark(cached_lookup)
+
+
+def test_e11_conflict_detection_cost(benchmark):
+    """Rejecting an ambiguous grammar costs one generation attempt."""
+    from repro.grammar import Grammar, nonterminal
+    from repro.lalr import ConflictError
+
+    def build_ambiguous():
+        g = Grammar("amb-bench")
+        E = nonterminal("BenchAmbE")
+        g.add_production(E, ["IntLit"], tag="ba_lit", internal=True,
+                         action=lambda ctx, v: v[0])
+        g.add_production(E, [E, "+", E], tag="ba_add", internal=True,
+                         action=lambda ctx, v: v[0])
+        g.declare_start(E)
+        try:
+            build_tables(g)
+            return False
+        except ConflictError:
+            return True
+
+    assert benchmark(build_ambiguous)

@@ -1,0 +1,42 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates a paper artifact (see DESIGN.md's
+experiment index) and prints the rows it reproduces, so EXPERIMENTS.md
+can quote them; pytest-benchmark adds the timing table.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import MayaCompiler
+from repro.interp import Interpreter
+from repro.macros import install_macro_library
+from repro.multijava import install_multijava
+
+
+def make_compiler(macros: bool = False, multijava: bool = False) -> MayaCompiler:
+    compiler = MayaCompiler()
+    if macros:
+        install_macro_library(compiler)
+    if multijava:
+        install_multijava(compiler)
+    return compiler
+
+
+def compile_and_run(source: str, cls: str = "Demo", macros: bool = False,
+                    multijava: bool = False) -> Interpreter:
+    program = make_compiler(macros, multijava).compile(source)
+    interp = Interpreter(program)
+    interp.run_static(cls)
+    return interp
+
+
+def report(title: str, rows, header=None) -> None:
+    print()
+    print(f"== {title} ==")
+    if header:
+        print("  " + " | ".join(str(h) for h in header))
+    for row in rows:
+        print("  " + " | ".join(str(cell) for cell in row))

@@ -1,0 +1,110 @@
+"""Writing your own language extension.
+
+Three extensions built from scratch with the public API, in increasing
+order of ambition:
+
+1. ``unless (cond) stmt`` — a new statement form (grammar extension +
+   Mayan + hygienic template);
+2. ``repeat (n) { ... }`` — a counted loop with a hygienic counter;
+3. a *retargeting* Mayan that rewrites ``Math.min`` calls to an inline
+   conditional — overriding base semantics with no new syntax at all.
+
+    python examples/custom_macro.py
+"""
+
+from repro import MayaCompiler, Mayan, Template
+from repro.interp import Interpreter
+
+
+class Unless(Mayan):
+    """unless (cond) statement  ==>  if (!(cond)) statement"""
+
+    result = "Statement"
+    pattern = "unless (Expression cond) Statement body"
+    TEMPLATE = Template("Statement", "if (!($c)) $b",
+                        c="Expression", b="Statement")
+
+    def run(self, env):
+        env.add_production("Statement", "unless (Expression) Statement")
+        super().run(env)
+
+    def expand(self, ctx, cond, body):
+        return ctx.instantiate(self.TEMPLATE, c=cond, b=body)
+
+
+class Repeat(Mayan):
+    """repeat (n) { body }  ==>  a for loop with a hygienic counter."""
+
+    result = "Statement"
+    pattern = "repeat (Expression count) lazy(BraceTree, BlockStmts) body"
+    TEMPLATE = Template(
+        "Statement",
+        "for (int i = 0; i < $n; i++) { $b }",
+        n="Expression", b="BlockStmts",
+    )
+
+    def run(self, env):
+        env.add_production(
+            "Statement", "repeat (Expression) lazy(BraceTree, BlockStmts)")
+        super().run(env)
+
+    def expand(self, ctx, count, body):
+        # 'i' is renamed to i$N per expansion: user code can use its own i.
+        return ctx.instantiate(self.TEMPLATE, n=count, b=body)
+
+
+class InlineMin(Mayan):
+    """Rewrites Math.min(a, b) into a conditional — overriding the
+    translation of *existing* syntax via lexical tie-breaking."""
+
+    result = "MethodInvocation"
+    pattern = "QName out \\. min (Expression a , Expression b)"
+    TEMPLATE = Template("Expression", "(($x) < ($y) ? ($x) : ($y))",
+                        x="Expression", y="Expression")
+
+    def expand(self, ctx, out, a, b):
+        if out.parts != ("Math",):
+            return ctx.next_rewrite()
+        return ctx.instantiate(self.TEMPLATE, x=a, y=b)
+
+
+SOURCE = """
+class Demo {
+    static void main() {
+        use ext.Unless;
+        use ext.Repeat;
+        use ext.InlineMin;
+
+        unless (1 > 2) System.out.println("unless works");
+
+        int i = 100;  // does not clash with repeat's counter
+        repeat (3) {
+            System.out.println("repeat " + i);
+            i++;
+        }
+
+        System.out.println("min = " + Math.min(4 * 4, 3 + 3));
+    }
+}
+"""
+
+
+def main():
+    compiler = MayaCompiler()
+    compiler.provide("ext.Unless", Unless())
+    compiler.provide("ext.Repeat", Repeat())
+    compiler.provide("ext.InlineMin", InlineMin())
+
+    program = compiler.compile(SOURCE, "custom.maya")
+    print("Expanded source:")
+    print(program.source())
+    print()
+    interp = Interpreter(program)
+    interp.run_static("Demo")
+    print("Output:")
+    for line in interp.output:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

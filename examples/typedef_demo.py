@@ -1,0 +1,56 @@
+"""Local Mayans and lexically scoped imports (paper figure 3).
+
+The Typedef macro defines a *local* Mayan (Subst) that closes over the
+alias/replacement pair and is exposed to the typedef body through a
+UseStmt — metaprograms structured as classes plus a few small Mayans.
+
+    python examples/typedef_demo.py
+"""
+
+from repro import MayaCompiler
+from repro.interp import Interpreter
+from repro.macros import install_macro_library
+
+SOURCE = """
+class Demo {
+    static void main() {
+        use maya.util.Typedef;
+
+        typedef (Registry = java.util.Hashtable) {
+            typedef (Names = java.util.Vector) {
+                Registry people = new Registry();
+                people.put("ada", "lovelace");
+                people.put("alan", "turing");
+
+                Names first = new Names();
+                first.addElement("ada");
+                first.addElement("alan");
+
+                for (int i = 0; i < first.size(); i++) {
+                    String name = (String) first.elementAt(i);
+                    System.out.println(name + " " + people.get(name));
+                }
+            }
+        }
+    }
+}
+"""
+
+
+def main():
+    compiler = MayaCompiler()
+    install_macro_library(compiler)
+    program = compiler.compile(SOURCE, "typedef.maya")
+
+    print("Expanded source — every alias resolved by the local Subst Mayan:")
+    print(program.source())
+    print()
+    interp = Interpreter(program)
+    interp.run_static("Demo")
+    print("Output:")
+    for line in interp.output:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Multiple dispatch as an optimization (paper section 3).
+
+The same ``v.elements().foreach(...)`` source compiles to two different
+loops depending on the *static type* of ``v``: the general Enumeration
+loop, or — when ``v`` is a maya.util.Vector whose ``elements()`` call
+is written syntactically — a direct walk of the vector's backing array.
+The interpreter's operation counters show what the specialized
+expansion saves.
+
+    python examples/vector_optimization.py
+"""
+
+from repro import MayaCompiler
+from repro.interp import Interpreter
+from repro.macros import install_macro_library
+
+TEMPLATE = """
+import java.util.*;
+class Demo {{
+    static void main() {{
+        use maya.util.ForEach;
+        {vector} v = new {vector}();
+        for (int i = 0; i < 1000; i++) v.addElement("payload");
+        int chars = 0;
+        v.elements().foreach(String s) {{
+            chars = chars + s.length();
+        }}
+        System.out.println(chars);
+    }}
+}}
+"""
+
+
+def measure(vector_class):
+    compiler = MayaCompiler()
+    install_macro_library(compiler)
+    program = compiler.compile(TEMPLATE.format(vector=vector_class))
+    interp = Interpreter(program)
+    interp.run_static("Demo")
+    return program, interp
+
+
+def main():
+    for vector_class in ("java.util.Vector", "maya.util.Vector"):
+        program, interp = measure(vector_class)
+        counters = interp.counters
+        loop = [line for line in program.source().splitlines()
+                if "for (" in line][1]
+        print(f"--- {vector_class} ---")
+        print(f"  selected expansion : {loop.strip()}")
+        print(f"  program output     : {interp.output[0]}")
+        print(f"  allocations        : {counters.allocations}")
+        print(f"  method calls       : {counters.method_calls}")
+        print()
+
+    print("The maya.util.Vector version avoided the Enumeration object")
+    print("and its two method calls per element — selected purely by")
+    print("Maya's multiple dispatch on syntax structure + static types.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro: a reproduction of *Maya: Multiple-Dispatch Syntax Extension
+in Java* (Baker & Hsieh, PLDI 2002) as a Python library.
+
+Quickstart::
+
+    from repro import MayaCompiler, run_program
+    from repro.macros import install_macro_library
+
+    compiler = MayaCompiler()
+    install_macro_library(compiler)
+    program = compiler.compile('''
+        import java.util.*;
+        class Demo {
+            static void main() {
+                use maya.util.ForEach;
+                Hashtable h = new Hashtable();
+                h.put("one", new Integer(1));
+                h.keys().foreach(String st) {
+                    System.out.println(st + " = " + h.get(st));
+                }
+            }
+        }
+    ''')
+    run_program(program, "Demo")
+"""
+
+from repro.core import (
+    CompileContext,
+    CompileEnv,
+    CompiledProgram,
+    MayaCompiler,
+    MayaError,
+)
+from repro.dispatch import (
+    AmbiguousDispatchError,
+    Mayan,
+    MetaProgram,
+    MetaProgramGroup,
+)
+from repro.patterns import Template, syntax_case
+from repro.hygiene import Environment, HygieneError
+
+__all__ = [
+    "AmbiguousDispatchError",
+    "CompileContext",
+    "CompileEnv",
+    "CompiledProgram",
+    "Environment",
+    "HygieneError",
+    "Mayan",
+    "MayaCompiler",
+    "MayaError",
+    "MetaProgram",
+    "MetaProgramGroup",
+    "Template",
+    "run_program",
+    "syntax_case",
+]
+
+
+def run_program(program, class_name: str, method: str = "main", args=()):
+    """Interpret a compiled program's static method (default: main)."""
+    from repro.interp import Interpreter
+
+    return Interpreter(program).run_static(class_name, method, list(args))
+
+
+__version__ = "1.0.0"

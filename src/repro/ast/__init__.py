@@ -1,0 +1,13 @@
+"""Typed abstract syntax trees for the Java subset.
+
+AST nodes are well typed (the paper's guarantee that Mayans produce
+valid trees); each node remembers the production and child values that
+built it, which is what structural pattern matching and structure
+specializers dispatch on.
+"""
+
+from repro.ast.nodes import *  # noqa: F401,F403
+from repro.ast.nodes import __all__ as _node_names
+from repro.ast.unparse import to_source
+
+__all__ = list(_node_names) + ["to_source"]

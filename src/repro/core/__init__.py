@@ -1,0 +1,18 @@
+"""The Maya compiler driver (mayac).
+
+Pipeline (paper figure 4): file reader -> class shaper -> class
+compiler, with the parser invoked in all three stages to incrementally
+refine ASTs, and the Mayan dispatcher invoked on every reduction.
+"""
+
+from repro.core.env import CompileEnv, MayaError
+from repro.core.context import CompileContext
+from repro.core.compiler import CompiledProgram, MayaCompiler
+
+__all__ = [
+    "CompileContext",
+    "CompileEnv",
+    "CompiledProgram",
+    "MayaCompiler",
+    "MayaError",
+]

@@ -1,0 +1,253 @@
+"""mayac: the compiler pipeline.
+
+``MayaCompiler.compile`` runs the three stages of figure 4:
+
+1. **file reader** — stream-lex and parse the compilation unit,
+   declaration at a time (method bodies stay lazy);
+2. **class shaper** — create ClassTypes, resolve supertypes, declare
+   member signatures (so forward references work), and run
+   class-processing hooks;
+3. **class compiler** — force method bodies (running Mayans as the
+   parser reduces them) and type-check statements.
+
+Compiling extensions and applications with the same compiler instance
+reproduces the paper's figure-1 workflow: compiled extensions are
+``provide``d under a name and imported by applications with ``use``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ast import nodes as n
+from repro.ast import to_source
+from repro.lexer import stream_lex
+from repro.typecheck import CheckError, Scope, check_block, resolve_type_name
+from repro.types import ClassType, VOID, array_of
+from repro.core.context import CompileContext
+from repro.core.drivers import parse_compilation_unit
+from repro.core.env import CompileEnv, MayaError
+
+
+class CompiledClass:
+    """A source class after shaping and compilation."""
+
+    def __init__(self, decl: n.ClassDecl, class_type: ClassType):
+        self.decl = decl
+        self.type = class_type
+
+
+class CompiledProgram:
+    """The result of compiling one or more compilation units."""
+
+    def __init__(self, env: CompileEnv):
+        self.env = env
+        self.units: List[n.CompilationUnit] = []
+        self.classes: Dict[str, CompiledClass] = {}
+
+    def source(self) -> str:
+        """Unparse everything (fully expanded syntax)."""
+        return "\n\n".join(to_source(unit) for unit in self.units)
+
+    def class_named(self, name: str) -> CompiledClass:
+        if name in self.classes:
+            return self.classes[name]
+        for compiled in self.classes.values():
+            if compiled.type.simple_name == name:
+                return compiled
+        raise MayaError(f"no compiled class {name!r}")
+
+
+class MayaCompiler:
+    """The Maya compiler (mayac).
+
+    >>> compiler = MayaCompiler()
+    >>> program = compiler.compile("class Hello { }")
+    """
+
+    def __init__(self, env: Optional[CompileEnv] = None):
+        self.env = env if env is not None else CompileEnv()
+        self.program = CompiledProgram(self.env)
+
+    # -- metaprogram management (figure 1: compiled extensions) -----------
+
+    def provide(self, name: str, metaprogram) -> None:
+        self.env.provide(name, metaprogram)
+
+    def use(self, *names: str) -> None:
+        """Import metaprograms compiler-wide (the ``-use`` option)."""
+        for name in names:
+            self.env.find_metaprogram(name.split(".")).run(self.env)
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self, source: str, filename: str = "<string>") -> CompiledProgram:
+        unit_env = self.env.child()
+        unit_env.imports = list(self.env.imports)
+        ctx = CompileContext(unit_env)
+
+        tokens = stream_lex(source, filename)
+        unit = parse_compilation_unit(ctx, tokens)
+        self.program.units.append(unit)
+
+        type_decls = [
+            decl for decl in unit.types
+            if isinstance(decl, (n.ClassDecl, n.InterfaceDecl))
+        ]
+        compiled = self._shape(type_decls, unit_env)
+        for hook in unit_env.unit_hooks:
+            hook(self.program, unit, unit_env)
+        self._compile_bodies(compiled, unit_env)
+        return self.program
+
+    def compile_expression(self, source: str):
+        """Parse (and expand) a single expression — REPL-style helper."""
+        from repro.lalr import Parser
+
+        ctx = CompileContext(self.env.child())
+        tokens = stream_lex(source, "<expr>")
+        parser = Parser(ctx.env.tables(), ctx)
+        value, _ = parser.parse("Expression", tokens)
+        return value
+
+    # -- phase 2: the class shaper ---------------------------------------------
+
+    def _shape(self, decls: List, env: CompileEnv) -> List[CompiledClass]:
+        registry = env.registry
+        compiled: List[CompiledClass] = []
+
+        # Pass 1: names exist (forward references resolve).
+        for decl in decls:
+            qualified = decl.name.name if not env.package \
+                else f"{env.package}.{decl.name.name}"
+            class_type = ClassType(
+                qualified,
+                is_interface=isinstance(decl, n.InterfaceDecl),
+                modifiers=tuple(decl.modifiers),
+            )
+            class_type.decl = decl
+            registry.define(class_type)
+            compiled.append(CompiledClass(decl, class_type))
+            self.program.classes[qualified] = compiled[-1]
+
+        object_type = registry.require("java.lang.Object")
+
+        # Pass 2: supertypes and member signatures.
+        for item in compiled:
+            decl, class_type = item.decl, item.type
+            if isinstance(decl, n.ClassDecl):
+                if decl.superclass is not None:
+                    class_type.superclass = self._class_of(decl.superclass, env)
+                else:
+                    class_type.superclass = object_type
+                for interface in decl.interfaces:
+                    class_type.interfaces.append(self._class_of(interface, env))
+            else:
+                for interface in decl.superinterfaces:
+                    class_type.interfaces.append(self._class_of(interface, env))
+            self._declare_members(item, env)
+            for hook in env.class_hooks:
+                hook(item, env)
+        return compiled
+
+    def _class_of(self, type_name: n.TypeName, env: CompileEnv) -> ClassType:
+        resolved = env.registry.resolve(type_name.base, env.imports, env.package)
+        if resolved is None:
+            raise MayaError(f"{type_name.location}: unknown type {type_name}")
+        return resolved
+
+    def _resolve(self, type_name: n.TypeName, env: CompileEnv):
+        scope = Scope(env=env)
+        type_name.scope = scope
+        return resolve_type_name(type_name, scope)
+
+    def _declare_members(self, item: CompiledClass, env: CompileEnv) -> None:
+        class_type = item.type
+        for member in item.decl.members:
+            if isinstance(member, n.FieldDecl):
+                base = self._resolve(member.type_name, env)
+                for declarator in member.declarators:
+                    field_type = array_of(base, declarator.dims) \
+                        if declarator.dims else base
+                    class_type.declare_field(
+                        declarator.name.name, field_type, member.modifiers
+                    )
+            elif isinstance(member, n.MethodDecl):
+                return_type = self._resolve(member.return_type, env)
+                param_types = [self._formal_type(f, env) for f in member.formals]
+                modifiers = list(member.modifiers)
+                if class_type.is_interface and "abstract" not in modifiers:
+                    modifiers.append("abstract")
+                method = class_type.declare_method(
+                    member.name.name, param_types, return_type, modifiers,
+                    decl=member,
+                )
+                member.method = method
+            elif isinstance(member, n.ConstructorDecl):
+                if member.name.name != class_type.simple_name:
+                    raise MayaError(
+                        f"{member.location}: constructor name "
+                        f"{member.name.name} does not match class"
+                    )
+                param_types = [self._formal_type(f, env) for f in member.formals]
+                ctor = class_type.declare_constructor(
+                    param_types, member.modifiers, decl=member
+                )
+                member.method = ctor
+            elif isinstance(member, n.UseDecl):
+                continue
+            else:
+                raise MayaError(
+                    f"{member.location}: unsupported member "
+                    f"{type(member).__name__}"
+                )
+
+    def _formal_type(self, formal: n.Formal, env: CompileEnv):
+        return self._resolve(formal.type_name, env)
+
+    # -- phase 3: the class compiler -------------------------------------------
+
+    def _compile_bodies(self, compiled: List[CompiledClass], env: CompileEnv) -> None:
+        from repro.typecheck import check_statement
+
+        for item in compiled:
+            class_type = item.type
+            root = Scope(env=env)
+            class_scope = root.class_scope(class_type)
+            for member in item.decl.members:
+                if isinstance(member, n.FieldDecl):
+                    # Check field initializers as pseudo-declarations in
+                    # the class scope (static ones without ``this``).
+                    scope = class_scope.child()
+                    if "static" in member.modifiers:
+                        scope.this_type = None
+                        scope.static_context = True
+                    check_statement(
+                        n.LocalVarDecl(list(member.modifiers),
+                                       member.type_name, member.declarators),
+                        scope,
+                    )
+                elif isinstance(member, n.MethodDecl) and member.body is not None:
+                    method = member.method
+                    scope = class_scope.method_scope(
+                        class_type, method.is_static, method.return_type
+                    )
+                    self._bind_formals(member.formals, method.param_types, scope)
+                    member.body = self._force_body(member.body, scope)
+                elif isinstance(member, n.ConstructorDecl):
+                    scope = class_scope.method_scope(class_type, False, VOID)
+                    self._bind_formals(member.formals, member.method.param_types,
+                                       scope)
+                    member.body = self._force_body(member.body, scope)
+
+    def _bind_formals(self, formals, param_types, scope: Scope) -> None:
+        for formal, param_type in zip(formals, param_types):
+            formal.scope = scope
+            scope.define(formal.name.name, param_type, "param", formal)
+
+    def _force_body(self, body, scope: Scope):
+        if isinstance(body, n.LazyNode):
+            body = body.force(scope)
+        if isinstance(body, n.BlockStmts):
+            check_block(body, scope)
+        return body

@@ -1,0 +1,87 @@
+"""Driver loops: statement lists, member lists, compilation units.
+
+These parse one element at a time with ``allow_prefix``, refreshing the
+parse tables between elements.  That is what lets a ``use`` directive
+extend the grammar and dispatcher for the *following* syntax — "syntax
+that follows an imported Mayan must be parsed lazily, after the Mayan
+defines any new productions" (paper section 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ast import nodes as n
+from repro.lalr import Parser
+from repro.lexer import Token
+
+
+def parse_block_stmts(ctx, tokens: List[Token]) -> n.BlockStmts:
+    """Parse a statement list; ``use`` rescopes the remainder."""
+    stmts: List[object] = []
+    position = 0
+    while position < len(tokens):
+        parser = Parser(ctx.env.tables(), ctx)
+        stmt, position = parser.parse("Statement", tokens,
+                                      allow_prefix=True, offset=position)
+        if isinstance(stmt, n.UseStmt) and getattr(stmt, "pending", False):
+            stmt.pending = False
+            child_env = ctx.env.child()
+            stmt.metaprogram.run(child_env)
+            child_ctx = ctx.with_env(child_env)
+            rest = parse_block_stmts(child_ctx, tokens[position:])
+            stmt.body = rest.stmts
+            stmts.append(stmt)
+            position = len(tokens)
+            break
+        if isinstance(stmt, n.LocalVarDecl):
+            ctx.declare_local(stmt)
+        stmts.append(stmt)
+    return n.BlockStmts(stmts)
+
+
+def parse_members(ctx, tokens: List[Token]) -> List[object]:
+    """Parse a class-body member list; ``use`` rescopes the remainder."""
+    members: List[object] = []
+    position = 0
+    while position < len(tokens):
+        parser = Parser(ctx.env.tables(), ctx)
+        member, position = parser.parse("MemberDecl", tokens,
+                                        allow_prefix=True, offset=position)
+        if isinstance(member, n.UseDecl):
+            child_env = ctx.env.child()
+            member.metaprogram.run(child_env)
+            ctx = ctx.with_env(child_env)
+        members.append(member)
+    return members
+
+
+def parse_compilation_unit(ctx, tokens: List[Token]) -> n.CompilationUnit:
+    """Parse a whole source file, top-level declaration at a time."""
+    package = None
+    imports: List[n.ImportDecl] = []
+    types: List[object] = []
+    position = 0
+    while position < len(tokens):
+        parser = Parser(ctx.env.tables(), ctx)
+        decl, position = parser.parse("Declaration", tokens,
+                                      allow_prefix=True, offset=position)
+        if isinstance(decl, n.PackageDecl):
+            package = decl
+            ctx.env.package = ".".join(decl.parts)
+        elif isinstance(decl, n.ImportDecl):
+            imports.append(decl)
+            ctx.env.imports.append((tuple(decl.parts), decl.on_demand))
+        elif isinstance(decl, n.UseDecl):
+            metaprogram = getattr(decl, "metaprogram", None)
+            if metaprogram is None:
+                metaprogram = ctx.env.find_metaprogram(decl.parts)
+            child_env = ctx.env.child()
+            metaprogram.run(child_env)
+            ctx = ctx.with_env(child_env)
+            types.append(decl)
+        else:
+            types.append(decl)
+    unit = n.CompilationUnit(package, imports, types)
+    unit.final_ctx = ctx
+    return unit

@@ -1,0 +1,94 @@
+"""Compilation environments.
+
+A CompileEnv bundles everything a compilation sees: the (extensible)
+grammar, the type registry, the Mayan dispatcher, the metaprogram
+namespace for ``use``, and the current file's imports/package.  ``use``
+scoping makes *child* environments whose dispatcher imports shadow the
+parent without leaking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dispatch import Dispatcher, MetaProgram
+from repro.grammar import Grammar, Production
+from repro.javalang import BASE_ACTIONS, base_grammar
+from repro.lalr.tables import ParseTables, tables_for
+from repro.types.builtins import standard_registry
+
+
+class MayaError(Exception):
+    """A compilation error raised by the driver."""
+
+
+class CompileEnv:
+    """One compilation's environment (lexically scoped via child())."""
+
+    def __init__(self, grammar: Optional[Grammar] = None, registry=None,
+                 dispatcher: Optional[Dispatcher] = None,
+                 parent: Optional["CompileEnv"] = None):
+        if parent is not None:
+            self.grammar = parent.grammar
+            self.registry = parent.registry
+            self.dispatcher = parent.dispatcher.child()
+            self.metaprograms = parent.metaprograms
+            self.imports = parent.imports
+            self.package = parent.package
+            self.class_hooks = parent.class_hooks
+            self.unit_hooks = parent.unit_hooks
+        else:
+            self.grammar = grammar if grammar is not None \
+                else base_grammar().copy("maya")
+            self.registry = registry if registry is not None \
+                else standard_registry()
+            self.dispatcher = dispatcher if dispatcher is not None \
+                else Dispatcher(BASE_ACTIONS)
+            self.metaprograms: Dict[str, MetaProgram] = {}
+            self.imports: List[Tuple[Tuple[str, ...], bool]] = []
+            self.package: str = ""
+            self.class_hooks: List = []
+            self.unit_hooks: List = []
+        self.parent = parent
+
+    # -- scoping ------------------------------------------------------------
+
+    def child(self) -> "CompileEnv":
+        return CompileEnv(parent=self)
+
+    # -- parsing -------------------------------------------------------------
+
+    def tables(self) -> ParseTables:
+        """Current parse tables (regenerated when the grammar grows)."""
+        return tables_for(self.grammar)
+
+    def add_production(self, result: str, pattern: str,
+                       tag: Optional[str] = None) -> Production:
+        """Declare a production (the paper's ``abstract ... syntax``)."""
+        from repro.patterns import production_from_pattern
+
+        return production_from_pattern(self.grammar, result, pattern, tag)
+
+    # -- metaprogram namespace --------------------------------------------------
+
+    def provide(self, name: str, metaprogram) -> None:
+        """Register a MetaProgram under a qualified name for ``use``."""
+        if isinstance(metaprogram, type):
+            metaprogram = metaprogram()
+        metaprogram.use_name = name
+        self.metaprograms[name] = metaprogram
+        simple = name.rsplit(".", 1)[-1]
+        self.metaprograms.setdefault(simple, metaprogram)
+
+    def find_metaprogram(self, parts) -> MetaProgram:
+        name = ".".join(parts)
+        metaprogram = self.metaprograms.get(name)
+        if metaprogram is None:
+            raise MayaError(f"use: unknown metaprogram {name!r}")
+        return metaprogram
+
+    def use(self, name: str) -> "CompileEnv":
+        """Import a metaprogram into a fresh child environment."""
+        child = self.child()
+        child.find_metaprogram(name.split(".")).run(child)
+        return child

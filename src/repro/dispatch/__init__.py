@@ -1,0 +1,43 @@
+"""Mayan dispatch: multimethods on grammar productions.
+
+"Each time a production is reduced, the parser dispatches to the
+appropriate Mayan.  This Mayan is selected by first finding all Mayans
+applicable to the production's right-hand side, then choosing the most
+applicable Mayan from this set." (paper section 4.4)
+"""
+
+from repro.dispatch.specializers import (
+    ClassSpec,
+    Param,
+    Specializer,
+    StructSpec,
+    TokenSpec,
+    TypeSpec,
+    compare_params,
+    match_param,
+)
+from repro.dispatch.dispatcher import (
+    AmbiguousDispatchError,
+    DispatchError,
+    Dispatcher,
+    NoApplicableMayanError,
+)
+from repro.dispatch.mayan import Mayan, MetaProgram, MetaProgramGroup
+
+__all__ = [
+    "AmbiguousDispatchError",
+    "ClassSpec",
+    "DispatchError",
+    "Dispatcher",
+    "Mayan",
+    "MetaProgram",
+    "MetaProgramGroup",
+    "NoApplicableMayanError",
+    "Param",
+    "Specializer",
+    "StructSpec",
+    "TokenSpec",
+    "TypeSpec",
+    "compare_params",
+    "match_param",
+]

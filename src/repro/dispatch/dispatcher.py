@@ -1,0 +1,177 @@
+"""The Mayan dispatcher.
+
+Selection rules (paper 4.4):
+
+* applicability — every parameter matches (node types, token values,
+  static types, substructure);
+* symmetric specificity — a Mayan is more specific only if it is at
+  least as specific on *every* parameter and strictly more specific on
+  one; two Mayans each more specific on different parameters are
+  ambiguous, and an error is signaled;
+* lexical tie-breaking — among equally specific applicable Mayans, the
+  one imported *later* wins.  Built-in (base) semantic actions are
+  imported first, which is why user Mayans transparently override base
+  syntax;
+* ``nextRewrite`` — a Mayan body may delegate to the next-most-
+  applicable Mayan, like ``super`` in methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.grammar import Production
+from repro.lexer import Location
+from repro.dispatch.specializers import (
+    CROSS,
+    EQUAL,
+    LESS,
+    MORE,
+    compare_params,
+    match_params,
+)
+
+
+class DispatchError(Exception):
+    """A Mayan dispatch failure."""
+
+
+class AmbiguousDispatchError(DispatchError):
+    """Two applicable Mayans are more specific on different arguments."""
+
+
+class NoApplicableMayanError(DispatchError):
+    """A production reduced but no semantic action applies.
+
+    The paper: "if no Mayans are declared on a new production ... an
+    error is signaled [when] input causes the production to reduce."
+    """
+
+
+class Dispatcher:
+    """An import-ordered registry of Mayans, lexically scoped.
+
+    ``child()`` makes a nested scope: imports in the child do not leak
+    to the parent, which implements the lexical scoping of ``use``.
+    """
+
+    def __init__(self, base_actions: Dict[Production, Callable],
+                 parent: Optional["Dispatcher"] = None):
+        self.base_actions = base_actions
+        self.parent = parent
+        self.root = parent.root if parent is not None else self
+        self._chains: Dict[Production, List] = {}
+        self.dispatch_count = 0
+
+    def child(self) -> "Dispatcher":
+        return Dispatcher(self.base_actions, parent=self)
+
+    # -- registration -------------------------------------------------------
+
+    def import_mayan(self, mayan) -> None:
+        """Append a Mayan to its production's chain (import order)."""
+        production = mayan.production
+        if production is None:
+            raise DispatchError(f"Mayan {mayan} was not attached to a production")
+        self._chains.setdefault(production, []).append(mayan)
+
+    def mayans_for(self, production: Production) -> List:
+        """All imported Mayans for a production, outermost scope first."""
+        if self.parent is not None:
+            out = self.parent.mayans_for(production)
+        else:
+            out = []
+        out.extend(self._chains.get(production, ()))
+        return out
+
+    # -- selection ------------------------------------------------------------
+
+    def dispatch(self, production: Production, values: List[object],
+                 location: Location, ctx) -> object:
+        """Run the most applicable semantic action for a reduction."""
+        self.dispatch_count += 1
+        if self.root is not self:
+            self.root.dispatch_count += 1
+        candidates = self.mayans_for(production)
+        applicable: List[Tuple[object, Dict[str, object]]] = []
+        for mayan in candidates:
+            bindings: Dict[str, object] = {}
+            if match_params(mayan.params, values, ctx, bindings):
+                applicable.append((mayan, bindings))
+
+        chain = _order_chain(applicable, ctx, production, location)
+
+        base = self.base_actions.get(production)
+
+        def run(index: int):
+            if index < len(chain):
+                mayan, bindings = chain[index]
+                return mayan.invoke(ctx, bindings, values, location,
+                                    lambda: run(index + 1))
+            if base is not None:
+                return base(ctx, values, location)
+            raise NoApplicableMayanError(
+                f"{location}: no semantic action applies to [{production}]"
+            )
+
+        return run(0)
+
+
+def _order_chain(applicable, env, production, location):
+    """Sort applicable Mayans most-specific first.
+
+    Selection repeatedly extracts the maximal element; within a maximal
+    *equal* group the latest import wins; a *crossing* pair at the top
+    is an ambiguity error.
+    """
+    remaining = list(applicable)
+    ordered = []
+    while remaining:
+        # Find maximal elements: no other strictly more specific.
+        maximal = []
+        for index, (mayan, bindings) in enumerate(remaining):
+            dominated = False
+            for other_index, (other, _) in enumerate(remaining):
+                if other_index == index:
+                    continue
+                if _strictly_more_specific(other, mayan, env):
+                    dominated = True
+                    break
+            if not dominated:
+                maximal.append((index, mayan, bindings))
+        # Crossing check within the maximal set: any two maximal Mayans
+        # that are not equal-specificity are mutually more specific on
+        # different arguments.
+        for position, (_, mayan_a, _) in enumerate(maximal):
+            for _, mayan_b, _ in maximal[position + 1:]:
+                if not _equally_specific(mayan_a, mayan_b, env):
+                    raise AmbiguousDispatchError(
+                        f"{location}: ambiguous Mayans on [{production}]: "
+                        f"{mayan_a} vs {mayan_b} are each more specific on "
+                        f"different arguments"
+                    )
+        # Equal group: later import (higher original index) first.
+        maximal.sort(key=lambda entry: entry[0], reverse=True)
+        for index, mayan, bindings in maximal:
+            ordered.append((mayan, bindings))
+        kept = {id(m) for _, m, _ in maximal}
+        remaining = [entry for entry in remaining if id(entry[0]) not in kept]
+    return ordered
+
+
+def _strictly_more_specific(a, b, env) -> bool:
+    saw_more = False
+    for param_a, param_b in zip(a.params, b.params):
+        outcome = compare_params(param_a, param_b, env)
+        if outcome in (LESS, CROSS):
+            return False
+        if outcome == MORE:
+            saw_more = True
+    return saw_more
+
+
+def _equally_specific(a, b, env) -> bool:
+    return all(
+        compare_params(param_a, param_b, env) == EQUAL
+        for param_a, param_b in zip(a.params, b.params)
+    )

@@ -1,0 +1,42 @@
+"""Grammar model: symbols, productions, and the extensible grammar.
+
+Maya treats grammar productions as generic functions.  This package
+holds the production/grammar data model; the LALR(1) machinery lives in
+repro.lalr and the dispatcher (the multimethod half) in repro.dispatch.
+"""
+
+from repro.grammar.symbols import (
+    LazySym,
+    ListSym,
+    Nonterminal,
+    OptSym,
+    Symbol,
+    Terminal,
+    TreeSym,
+    nonterminal,
+    terminal,
+)
+from repro.grammar.grammar import (
+    Assoc,
+    Grammar,
+    GrammarError,
+    Precedence,
+    Production,
+)
+
+__all__ = [
+    "Assoc",
+    "Grammar",
+    "GrammarError",
+    "LazySym",
+    "ListSym",
+    "Nonterminal",
+    "OptSym",
+    "Precedence",
+    "Production",
+    "Symbol",
+    "Terminal",
+    "TreeSym",
+    "nonterminal",
+    "terminal",
+]

@@ -1,0 +1,219 @@
+"""Grammar symbols.
+
+Symbols are interned: two symbols with the same name are the same
+object, which lets the LALR machinery use identity comparisons.
+
+Beyond plain terminals and nonterminals, Maya's metagrammar has
+*parameterized* symbols (section 4.1): ``list(X, sep)`` for repetition,
+``lazy(Tree, NT)`` for lazily parsed subtrees, and tree symbols for
+eagerly (recursively) parsed subtrees.  A parameterized symbol is itself
+a nonterminal; when one is first used, the grammar synthesizes its
+helper productions (the ``G0``/``G1`` productions of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class Symbol:
+    """A grammar symbol, interned by name."""
+
+    _registry: Dict[str, "Symbol"] = {}
+
+    def __new__(cls, name: str):
+        existing = Symbol._registry.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"symbol {name!r} already defined as {type(existing).__name__}"
+                )
+            return existing
+        instance = object.__new__(cls)
+        instance.name = name
+        Symbol._registry[name] = instance
+        return instance
+
+    name: str
+
+    @property
+    def is_terminal(self) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @staticmethod
+    def lookup(name: str) -> Optional["Symbol"]:
+        return Symbol._registry.get(name)
+
+
+class Terminal(Symbol):
+    """A terminal symbol: a token kind."""
+
+    @property
+    def is_terminal(self) -> bool:
+        return True
+
+
+class Nonterminal(Symbol):
+    """A nonterminal symbol.
+
+    ``node_class`` links node-type nonterminals to their AST class; it is
+    what makes dispatch-by-node-type work (the paper's "node-type
+    symbols").  Helper nonterminals synthesized for parameterized
+    symbols have no node class.
+    """
+
+    def __init__(self, name: str):
+        if not hasattr(self, "node_class"):
+            self.node_class = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return False
+
+
+def terminal(name: str) -> Terminal:
+    return Terminal(name)
+
+
+def nonterminal(name: str, node_class: type = None) -> Nonterminal:
+    sym = Nonterminal(name)
+    if node_class is not None:
+        if sym.node_class is not None and sym.node_class is not node_class:
+            raise ValueError(f"nonterminal {name} already has a node class")
+        sym.node_class = node_class
+    return sym
+
+
+# ---------------------------------------------------------------------------
+# Parameterized symbols.
+#
+# These are *descriptions*; Grammar.resolve() turns each into a concrete
+# helper Nonterminal plus generated productions.  Using frozen dataclass
+# semantics by hand keeps them hashable and comparable by content.
+# ---------------------------------------------------------------------------
+
+
+class ParameterizedSym:
+    """Base class for parameterized grammar symbols."""
+
+    def helper_name(self) -> str:
+        raise NotImplementedError
+
+
+class ListSym(ParameterizedSym):
+    """``list(Element, 'separator')``: separated elements.
+
+    With an empty separator this is plain repetition.  ``min1`` requires
+    at least one element (``list1``).  The semantic value is a Python
+    list of element values.
+    """
+
+    def __init__(self, element: Symbol, separator: str = "", min1: bool = False):
+        self.element = element
+        self.separator = separator
+        self.min1 = min1
+
+    def helper_name(self) -> str:
+        sep = self.separator or ""
+        plus = "1" if self.min1 else ""
+        return f"list{plus}({self.element.name},{sep!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ListSym)
+            and self.element is other.element
+            and self.separator == other.separator
+            and self.min1 == other.min1
+        )
+
+    def __hash__(self):
+        return hash(("list", self.element.name, self.separator, self.min1))
+
+    def __repr__(self):
+        return self.helper_name()
+
+
+class OptSym(ParameterizedSym):
+    """``opt(X)``: X or nothing; value is the X value or None."""
+
+    def __init__(self, element: Symbol):
+        self.element = element
+
+    def helper_name(self) -> str:
+        return f"opt({self.element.name})"
+
+    def __eq__(self, other):
+        return isinstance(other, OptSym) and self.element is other.element
+
+    def __hash__(self):
+        return hash(("opt", self.element.name))
+
+    def __repr__(self):
+        return self.helper_name()
+
+
+class TreeSym(ParameterizedSym):
+    """``tree(TreeKind, NT)``: eagerly parse a subtree's content as NT.
+
+    ``tree_kinds`` may list alternative token kinds that are acceptable
+    carriers (e.g. ParenTree or EmptyParen for argument lists).
+    """
+
+    def __init__(self, tree_kinds: Tuple[str, ...], content: Symbol):
+        if isinstance(tree_kinds, str):
+            tree_kinds = (tree_kinds,)
+        self.tree_kinds = tuple(tree_kinds)
+        self.content = content
+
+    def helper_name(self) -> str:
+        kinds = "|".join(self.tree_kinds)
+        return f"tree({kinds},{self.content.name})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TreeSym)
+            and self.tree_kinds == other.tree_kinds
+            and self.content is other.content
+        )
+
+    def __hash__(self):
+        return hash(("tree", self.tree_kinds, self.content.name))
+
+    def __repr__(self):
+        return self.helper_name()
+
+
+class LazySym(ParameterizedSym):
+    """``lazy(TreeKind, NT)``: lazily parse a subtree's content as NT.
+
+    The semantic value is a LazyNode thunk; parsing happens on demand,
+    which is what lets Mayans be imported mid-program and lets bindings
+    created by one Mayan argument be visible while type checking another
+    (paper section 1, implementation technique 1).
+    """
+
+    def __init__(self, tree_kinds: Tuple[str, ...], content: Symbol):
+        if isinstance(tree_kinds, str):
+            tree_kinds = (tree_kinds,)
+        self.tree_kinds = tuple(tree_kinds)
+        self.content = content
+
+    def helper_name(self) -> str:
+        kinds = "|".join(self.tree_kinds)
+        return f"lazy({kinds},{self.content.name})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LazySym)
+            and self.tree_kinds == other.tree_kinds
+            and self.content is other.content
+        )
+
+    def __hash__(self):
+        return hash(("lazy", self.tree_kinds, self.content.name))
+
+    def __repr__(self):
+        return self.helper_name()

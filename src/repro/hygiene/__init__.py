@@ -1,0 +1,26 @@
+"""Hygiene and referential transparency (paper section 4.3).
+
+Maya decides hygiene *statically*, when a template is compiled:
+binding constructs are explicit in the grammar (the UnboundLocal
+nonterminal), so every identifier's syntactic role is known at template
+compile time.  Binders and their references are renamed to fresh
+``name$N`` identifiers at instantiation; free variable references are
+errors at template compile time; type names are resolved at definition
+time (referential transparency) and embedded as StrictTypeNames.
+"""
+
+from repro.hygiene.fresh import Environment, make_id, reset_fresh_names
+from repro.hygiene.analysis import (
+    HygieneError,
+    TemplateInfo,
+    analyze_template,
+)
+
+__all__ = [
+    "Environment",
+    "HygieneError",
+    "TemplateInfo",
+    "analyze_template",
+    "make_id",
+    "reset_fresh_names",
+]

@@ -1,0 +1,37 @@
+"""Fresh-name generation.
+
+Generated names contain ``$`` — unwritable in ordinary source (our
+scanner accepts them only because templates and the compiler itself
+mint them), so they are "guaranteed to be unique within a compilation
+unit" by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ast.nodes import Ident
+
+_counter = itertools.count(1)
+
+
+def make_id(base: str = "tmp") -> Ident:
+    """A fresh identifier that cannot collide with source names."""
+    return Ident(f"{base}${next(_counter)}")
+
+
+def fresh_name(base: str) -> str:
+    return f"{base}${next(_counter)}"
+
+
+def reset_fresh_names() -> None:
+    """Reset the counter (tests only, for stable expected output)."""
+    global _counter
+    _counter = itertools.count(1)
+
+
+class Environment:
+    """Paper-style facade: ``Environment.make_id()``."""
+
+    make_id = staticmethod(make_id)
+    makeId = staticmethod(make_id)

@@ -1,0 +1,20 @@
+"""A tree-walking interpreter for compiled (fully expanded) programs.
+
+Stands in for the paper's bytecode backend: every expansion the macro
+library or MultiJava produces can be *run*, and the interpreter's
+operation counters (allocations, method calls, field reads) let the
+benchmarks measure what the paper's optimized expansions save.
+"""
+
+from repro.interp.values import JavaArray, JavaNull, JavaObject, JavaThrow, java_str
+from repro.interp.interp import Counters, Interpreter
+
+__all__ = [
+    "Counters",
+    "Interpreter",
+    "JavaArray",
+    "JavaNull",
+    "JavaObject",
+    "JavaThrow",
+    "java_str",
+]

@@ -1,0 +1,22 @@
+"""The base Java-subset language: grammar and base semantic actions.
+
+The base grammar's semantic actions are ordinary (built-in) Mayans in
+Maya's model: they are consulted by the dispatcher *first* in import
+order, so user Mayans imported later override them purely through the
+lexical tie-breaking rule (paper section 4.4) — which is how MultiJava
+transparently retranslates ordinary method declarations (section 5.2).
+"""
+
+from repro.javalang.grammar_def import (
+    BASE_ACTIONS,
+    DRIVER_NONTERMINALS,
+    base_grammar,
+    node_symbol,
+)
+
+__all__ = [
+    "BASE_ACTIONS",
+    "DRIVER_NONTERMINALS",
+    "base_grammar",
+    "node_symbol",
+]

@@ -1,0 +1,26 @@
+"""LALR(1) parser generation and the parse driver.
+
+The generator follows the textbook construction (Aho et al., which the
+paper also cites for its pattern-parsing description): LR(0) automaton,
+LALR(1) lookaheads by spontaneous generation and propagation, and a
+parse table that rejects unresolved conflicts rather than resolving
+them YACC-style (paper section 4.1).
+"""
+
+from repro.lalr.tables import (
+    ConflictError,
+    ParseTables,
+    build_tables,
+    tables_for,
+)
+from repro.lalr.parser import ParseError, Parser, ParserContext
+
+__all__ = [
+    "ConflictError",
+    "ParseError",
+    "ParseTables",
+    "Parser",
+    "ParserContext",
+    "build_tables",
+    "tables_for",
+]

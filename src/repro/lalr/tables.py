@@ -1,0 +1,278 @@
+"""LALR(1) lookahead computation and parse-table construction.
+
+Lookaheads are computed with the spontaneous-generation/propagation
+algorithm (Aho et al. 4.7.4).  Conflicts are resolved only through
+declared operator precedence; anything left over raises ConflictError —
+Maya's generator "rejects grammars that contain unresolved LALR(1)
+conflicts" instead of applying YACC's default resolutions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.grammar import Assoc, Grammar, Production
+from repro.lalr.automaton import DOT_STRIDE, Automaton, item, item_parts
+from repro.lalr.encoded import EOF, PROBE, EncodedGrammar
+
+
+class ConflictError(Exception):
+    """The grammar has LALR(1) conflicts not resolved by precedence."""
+
+    def __init__(self, conflicts: List[str]):
+        self.conflicts = conflicts
+        preview = "\n  ".join(conflicts[:12])
+        extra = "" if len(conflicts) <= 12 else f"\n  ... {len(conflicts) - 12} more"
+        super().__init__(f"unresolved LALR(1) conflicts:\n  {preview}{extra}")
+
+
+# Action encodings.
+SHIFT = "s"
+REDUCE = "r"
+ACCEPT = "a"
+
+
+class ParseTables:
+    """Generated ACTION/GOTO tables plus grammar metadata."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.encoded = EncodedGrammar(grammar)
+        self.automaton = Automaton(self.encoded)
+        self.action: List[Dict[int, Tuple[str, int]]] = []
+        self.goto: List[Dict[int, int]] = []
+        self._build()
+
+    # -- public API --------------------------------------------------------
+
+    def symbol_id(self, name: str) -> Optional[int]:
+        return self.encoded.symbol_ids.get(name)
+
+    def start_state(self, nt_name: str) -> int:
+        sym = self.encoded.symbol_ids.get(nt_name)
+        if sym is None or sym not in self.automaton.start_state:
+            raise KeyError(f"{nt_name} is not a declared start symbol")
+        return self.automaton.start_state[sym]
+
+    def eof_id(self, nt_name: str) -> int:
+        sym = self.encoded.symbol_ids.get(nt_name)
+        if sym is None or sym not in self.encoded.start_eof:
+            raise KeyError(f"{nt_name} is not a declared start symbol")
+        return self.encoded.start_eof[sym]
+
+    def production(self, prod_index: int) -> Production:
+        return self.encoded.production_objects[prod_index]
+
+    def expected_terminals(self, state: int) -> List[str]:
+        return sorted(
+            self.encoded.name(t)
+            for t in self.action[state]
+            if t != PROBE and not self.encoded.name(t).startswith("$eof")
+        )
+
+    def has_goto(self, state: int, sym_id: int) -> bool:
+        return sym_id in self.goto[state]
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        lookaheads = self._compute_lookaheads()
+        encoded = self.encoded
+        automaton = self.automaton
+        productions = encoded.productions
+        conflicts: List[str] = []
+
+        start_prods = set(encoded.start_production.values())
+
+        for state, kernel in enumerate(automaton.states):
+            actions: Dict[int, Tuple[str, int]] = {}
+            gotos: Dict[int, int] = {}
+            for symbol, target in automaton.transitions[state].items():
+                if encoded.is_terminal[symbol]:
+                    actions[symbol] = (SHIFT, target)
+                else:
+                    gotos[symbol] = target
+
+            kernel_las = {
+                k: set(lookaheads.get((state, k), ())) for k in kernel
+            }
+            full = self._lr1_closure(kernel_las)
+            for encoded_item, las in full.items():
+                prod_index, dot = item_parts(encoded_item)
+                _, rhs = productions[prod_index]
+                if dot != len(rhs):
+                    continue
+                if prod_index in start_prods:
+                    eof_id = self.encoded.eof_of_production[prod_index]
+                    actions[eof_id] = (ACCEPT, prod_index)
+                    continue
+                for la in las:
+                    if la == PROBE:
+                        continue
+                    self._add_reduce(state, actions, la, prod_index, conflicts)
+            self.action.append(actions)
+            self.goto.append(gotos)
+
+        if conflicts:
+            raise ConflictError(conflicts)
+
+    def _add_reduce(
+        self,
+        state: int,
+        actions: Dict[int, Tuple[str, int]],
+        la: int,
+        prod_index: int,
+        conflicts: List[str],
+    ) -> None:
+        existing = actions.get(la)
+        if existing is None:
+            actions[la] = (REDUCE, prod_index)
+            return
+        kind, value = existing
+        la_name = self.encoded.name(la)
+        production = self.encoded.production_objects[prod_index]
+        if kind == REDUCE:
+            if value == prod_index:
+                return
+            other = self.encoded.production_objects[value]
+            conflicts.append(
+                f"reduce/reduce on {la_name!r} in state {state}: "
+                f"[{production}] vs [{other}]"
+            )
+            return
+        if kind in (SHIFT, ACCEPT):
+            resolution = self._resolve_shift_reduce(la, production)
+            if resolution == "shift":
+                return  # keep the shift
+            if resolution == "reduce":
+                actions[la] = (REDUCE, prod_index)
+                return
+            if resolution == "error":
+                del actions[la]
+                return
+            conflicts.append(
+                f"shift/reduce on {la_name!r} in state {state}: "
+                f"shift vs [{production}]"
+            )
+
+    def _resolve_shift_reduce(self, la: int, production: Production) -> Optional[str]:
+        """Resolve via precedence; None when no declarations apply."""
+        term_prec = self.grammar.precedence.lookup(self.encoded.name(la))
+        prod_prec = self.grammar.production_prec(production)
+        if term_prec is None or prod_prec is None:
+            return None
+        if prod_prec[0] > term_prec[0]:
+            return "reduce"
+        if prod_prec[0] < term_prec[0]:
+            return "shift"
+        assoc = prod_prec[1]
+        if assoc == Assoc.LEFT:
+            return "reduce"
+        if assoc == Assoc.RIGHT:
+            return "shift"
+        return "error"
+
+    # -- lookaheads -----------------------------------------------------------
+
+    def _lr1_closure(
+        self, seed: Dict[int, Set[int]]
+    ) -> Dict[int, Set[int]]:
+        """LR(1) closure of items with lookahead sets (PROBE allowed)."""
+        encoded = self.encoded
+        productions = encoded.productions
+        items: Dict[int, Set[int]] = {k: set(v) for k, v in seed.items()}
+        worklist: List[Tuple[int, int]] = [
+            (k, la) for k, las in seed.items() for la in las
+        ]
+        while worklist:
+            encoded_item, la = worklist.pop()
+            prod_index, dot = item_parts(encoded_item)
+            _, rhs = productions[prod_index]
+            if dot >= len(rhs):
+                continue
+            symbol = rhs[dot]
+            if encoded.is_terminal[symbol]:
+                continue
+            firsts, nullable = encoded.first_of_suffix(prod_index, dot + 1)
+            new_las = set(firsts)
+            if nullable:
+                new_las.add(la)
+            for next_prod in encoded.by_lhs.get(symbol, ()):
+                target = item(next_prod, 0)
+                existing = items.setdefault(target, set())
+                for new_la in new_las:
+                    if new_la not in existing:
+                        existing.add(new_la)
+                        worklist.append((target, new_la))
+        return items
+
+    def _compute_lookaheads(self) -> Dict[Tuple[int, int], Set[int]]:
+        """Kernel-item lookaheads via spontaneous generation + propagation."""
+        automaton = self.automaton
+        encoded = self.encoded
+        productions = encoded.productions
+
+        lookaheads: Dict[Tuple[int, int], Set[int]] = {}
+        propagations: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+
+        for start_sym, prod_index in encoded.start_production.items():
+            state = automaton.start_state[start_sym]
+            lookaheads.setdefault((state, item(prod_index, 0)), set()).add(
+                encoded.start_eof[start_sym]
+            )
+
+        for state, kernel in enumerate(automaton.states):
+            transitions = automaton.transitions[state]
+            for kernel_item in kernel:
+                probe = self._lr1_closure({kernel_item: {PROBE}})
+                for encoded_item, las in probe.items():
+                    prod_index, dot = item_parts(encoded_item)
+                    _, rhs = productions[prod_index]
+                    if dot >= len(rhs):
+                        continue
+                    target_state = transitions[rhs[dot]]
+                    target_key = (target_state, encoded_item + 1)
+                    for la in las:
+                        if la == PROBE:
+                            propagations.setdefault(
+                                (state, kernel_item), []
+                            ).append(target_key)
+                        else:
+                            lookaheads.setdefault(target_key, set()).add(la)
+
+        # Deduplicate propagation targets.
+        for key, targets in propagations.items():
+            propagations[key] = list(dict.fromkeys(targets))
+
+        # Fixpoint propagation.
+        worklist = list(lookaheads.keys())
+        while worklist:
+            source = worklist.pop()
+            source_las = lookaheads.get(source)
+            if not source_las:
+                continue
+            for target in propagations.get(source, ()):
+                target_las = lookaheads.setdefault(target, set())
+                before = len(target_las)
+                target_las.update(source_las)
+                if len(target_las) != before:
+                    worklist.append(target)
+        return lookaheads
+
+
+_TABLE_CACHE: Dict[Tuple, ParseTables] = {}
+
+
+def build_tables(grammar: Grammar) -> ParseTables:
+    """Build tables without caching (used by generator benchmarks)."""
+    return ParseTables(grammar)
+
+
+def tables_for(grammar: Grammar) -> ParseTables:
+    """Build or fetch cached tables for the grammar's current state."""
+    key = grammar.fingerprint()
+    tables = _TABLE_CACHE.get(key)
+    if tables is None:
+        tables = ParseTables(grammar)
+        _TABLE_CACHE[key] = tables
+    return tables

@@ -1,0 +1,35 @@
+"""Lexical analysis: flat scanning and the stream lexer.
+
+The stream lexer (paper section 4, figure 4) turns a flat token stream
+into a *token tree*: every matched pair of delimiters becomes a single
+subtree token.  Subtrees are "lexers" in the paper's terminology because
+they can later provide input to the parser, which is what makes lazy
+parsing and quick member-boundary discovery possible.
+"""
+
+from repro.lexer.source import Location, SourceFile, span
+from repro.lexer.tokens import (
+    KEYWORDS,
+    OPERATORS,
+    TREE_KINDS,
+    Token,
+    is_tree_kind,
+)
+from repro.lexer.scanner import LexError, Scanner, scan
+from repro.lexer.stream import StreamLexer, stream_lex
+
+__all__ = [
+    "KEYWORDS",
+    "LexError",
+    "Location",
+    "OPERATORS",
+    "Scanner",
+    "SourceFile",
+    "StreamLexer",
+    "TREE_KINDS",
+    "Token",
+    "is_tree_kind",
+    "scan",
+    "span",
+    "stream_lex",
+]

@@ -1,0 +1,53 @@
+"""Source files and source locations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Location:
+    """A point in a source file (1-based line and column)."""
+
+    filename: str
+    line: int
+    column: int
+
+    UNKNOWN: "Location" = None  # set below
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+Location.UNKNOWN = Location("<unknown>", 0, 0)
+
+
+def span(first: Location, last: Location) -> Location:
+    """Collapse a span to its starting location.
+
+    Maya reports a single point per node; we keep the same convention but
+    accept a pair so call sites read naturally.
+    """
+    if first is Location.UNKNOWN:
+        return last
+    return first
+
+
+class SourceFile:
+    """A named chunk of source text with line bookkeeping."""
+
+    def __init__(self, filename: str, text: str):
+        self.filename = filename
+        self.text = text
+
+    @classmethod
+    def from_path(cls, path: str) -> "SourceFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(path, handle.read())
+
+    def location(self, offset: int) -> Location:
+        prefix = self.text[:offset]
+        line = prefix.count("\n") + 1
+        last_newline = prefix.rfind("\n")
+        column = offset - last_newline
+        return Location(self.filename, line, column)

@@ -1,0 +1,123 @@
+"""The stream lexer: flat tokens to a token tree.
+
+Per the paper (section 4, figure 4), the stream lexer "creates a subtree
+for each pair of matching delimiters: parentheses, braces, and brackets".
+It resembles a Lisp reader: it builds trees from a simple context-free
+language, which lets the compiler find the end of a method body or field
+initializer without fully parsing it.
+
+In addition to the raw tree structure we classify a few shapes at this
+level, because they correspond to distinct terminals in the LALR(1)
+grammar (see repro.lexer.tokens for the list):
+
+* empty bracket pairs become ``Dims``,
+* empty paren pairs become ``EmptyParen``,
+* paren groups that lexically *must* be a cast type become ``CastParen``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lexer.scanner import LexError, scan
+from repro.lexer.source import Location
+from repro.lexer.tokens import (
+    CLOSE_DELIMS,
+    OPEN_DELIMS,
+    PRIMITIVE_TYPE_KEYWORDS,
+    Token,
+)
+
+_KIND_BY_OPEN = {"(": "ParenTree", "{": "BraceTree", "[": "BracketTree"}
+
+
+class StreamLexer:
+    """Builds token trees from a flat token sequence."""
+
+    def __init__(self, tokens: Sequence[Token], classify_casts: bool = True):
+        self._tokens = list(tokens)
+        self._pos = 0
+        self._classify_casts = classify_casts
+
+    def tree(self) -> List[Token]:
+        """Return the token tree for the whole input."""
+        out, closer = self._group(None)
+        if closer is not None:
+            raise LexError(f"unmatched {closer.text!r}", closer.location)
+        return out
+
+    # -- internals -----------------------------------------------------
+
+    def _group(self, open_token: Optional[Token]) -> Tuple[List[Token], Optional[Token]]:
+        """Collect tokens until the closer matching *open_token* (or EOF)."""
+        expected_close = OPEN_DELIMS[open_token.text] if open_token else None
+        out: List[Token] = []
+        while self._pos < len(self._tokens):
+            token = self._tokens[self._pos]
+            self._pos += 1
+            if token.text in OPEN_DELIMS:
+                children, closer = self._group(token)
+                if closer is None:
+                    raise LexError(f"unmatched {token.text!r}", token.location)
+                out.append(self._make_tree(token, children))
+            elif token.text in CLOSE_DELIMS:
+                if token.text != expected_close:
+                    raise LexError(
+                        f"mismatched delimiter {token.text!r}", token.location
+                    )
+                return out, token
+            else:
+                out.append(token)
+        return out, None
+
+    def _make_tree(self, open_token: Token, children: List[Token]) -> Token:
+        kind = _KIND_BY_OPEN[open_token.text]
+        if not children:
+            if kind == "BracketTree":
+                kind = "Dims"
+            elif kind == "ParenTree":
+                kind = "EmptyParen"
+        elif (
+            kind == "ParenTree"
+            and self._classify_casts
+            and _is_cast_shape(children)
+        ):
+            kind = "CastParen"
+        return Token(kind, open_token.text, open_token.location, tuple(children))
+
+
+def _is_cast_shape(children: Sequence[Token]) -> bool:
+    """True when a paren group's content is lexically a type.
+
+    Accepted shapes: ``primitive Dims*`` and ``Name(.Name)* Dims+``.  A
+    plain ``(Name)`` stays a ParenTree: it is only a cast when followed
+    by an operand that cannot start an infix context, which the grammar
+    handles via UnaryNotPlusMinus (JLS-style).
+    """
+    index = 0
+    if children[0].kind in PRIMITIVE_TYPE_KEYWORDS:
+        index = 1
+        needs_dims = False
+    elif children[0].kind == "Identifier":
+        index = 1
+        while (
+            index + 1 < len(children)
+            and children[index].kind == "."
+            and children[index + 1].kind == "Identifier"
+        ):
+            index += 2
+        needs_dims = True
+    else:
+        return False
+    dims = 0
+    while index < len(children) and children[index].kind == "Dims":
+        dims += 1
+        index += 1
+    if index != len(children):
+        return False
+    return dims >= 1 if needs_dims else True
+
+
+def stream_lex(text: str, filename: str = "<string>") -> List[Token]:
+    """Scan and tree-ify source text in one step."""
+    return StreamLexer(scan(text, filename)).tree()

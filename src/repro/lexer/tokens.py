@@ -1,0 +1,216 @@
+"""Token kinds and the token data structure.
+
+Terminal kinds
+--------------
+Fixed tokens (keywords and operators) use their own spelling as the kind,
+so the grammar can mention them directly (``"if"``, ``"+"``).  Variable
+tokens use capitalised class names: ``Identifier``, ``IntLit``,
+``DoubleLit``, ``CharLit``, ``StringLit``.
+
+Tree tokens (built by the stream lexer, never by the scanner) are:
+
+``ParenTree``
+    a ``( ... )`` group with at least one inner token that is not a cast
+    shape (see ``CastParen``),
+``BraceTree``
+    a ``{ ... }`` group,
+``BracketTree``
+    a non-empty ``[ ... ]`` group,
+``Dims``
+    an *empty* bracket pair ``[]`` (array dimensions),
+``EmptyParen``
+    an *empty* paren pair ``()`` (empty argument or formal list),
+``CastParen``
+    a paren group whose content is lexically a type: a primitive type
+    keyword followed by zero or more ``Dims``, or a dotted name followed
+    by one or more ``Dims``.  Classifying these in the stream lexer keeps
+    the Java cast productions LALR(1) even though paren groups are single
+    terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.lexer.source import Location
+
+KEYWORDS = frozenset(
+    """
+    abstract boolean break byte case catch char class const continue
+    default do double else extends final finally float for goto if
+    implements import instanceof int interface long native new package
+    private protected public return short static strictfp super switch
+    synchronized this throw throws transient try void volatile while
+    null true false use syntax
+    """.split()
+)
+
+PRIMITIVE_TYPE_KEYWORDS = frozenset(
+    "boolean byte short int long char float double".split()
+)
+
+# Longest-match first ordering is established by the scanner.
+OPERATORS = (
+    ">>>=",
+    "<<=",
+    ">>=",
+    ">>>",
+    "==",
+    "<=",
+    ">=",
+    "!=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "&=",
+    "|=",
+    "^=",
+    "%=",
+    "<<",
+    ">>",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "=",
+    ">",
+    "<",
+    "!",
+    "~",
+    "?",
+    ":",
+    "+",
+    "-",
+    "*",
+    "/",
+    "&",
+    "|",
+    "^",
+    "%",
+    "@",
+    "\\",
+    "$",
+)
+
+TREE_KINDS = frozenset(
+    ["ParenTree", "BraceTree", "BracketTree", "Dims", "EmptyParen", "CastParen"]
+)
+
+VARIABLE_KINDS = frozenset(
+    ["Identifier", "IntLit", "LongLit", "DoubleLit", "CharLit", "StringLit"]
+)
+
+EOF_KIND = "$eof"
+
+OPEN_DELIMS = {"(": ")", "{": "}", "[": "]"}
+CLOSE_DELIMS = {v: k for k, v in OPEN_DELIMS.items()}
+
+_TREE_DELIMS = {
+    "ParenTree": ("(", ")"),
+    "CastParen": ("(", ")"),
+    "EmptyParen": ("(", ")"),
+    "BraceTree": ("{", "}"),
+    "BracketTree": ("[", "]"),
+    "Dims": ("[", "]"),
+}
+
+
+def is_tree_kind(kind: str) -> bool:
+    return kind in TREE_KINDS
+
+
+class Token:
+    """A single token, possibly a matched-delimiter subtree.
+
+    ``kind`` is the terminal symbol name; ``text`` is the source spelling
+    (for tree tokens, just the open delimiter); ``children`` is the tuple
+    of inner tokens for tree tokens and ``None`` otherwise.
+    """
+
+    __slots__ = ("kind", "text", "location", "children", "value")
+
+    def __init__(
+        self,
+        kind: str,
+        text: str,
+        location: Location = Location.UNKNOWN,
+        children: Optional[Tuple["Token", ...]] = None,
+        value: object = None,
+    ):
+        self.kind = kind
+        self.text = text
+        self.location = location
+        self.children = children
+        self.value = value
+
+    @property
+    def is_tree(self) -> bool:
+        return self.children is not None
+
+    def delimiters(self) -> Tuple[str, str]:
+        """The open/close delimiter pair of a tree token."""
+        return _TREE_DELIMS[self.kind]
+
+    def iter_flat(self) -> Iterator["Token"]:
+        """Yield this token's full flat token sequence, delimiters included."""
+        if not self.is_tree:
+            yield self
+            return
+        open_text, close_text = self.delimiters()
+        yield Token(open_text, open_text, self.location)
+        for child in self.children:
+            yield from child.iter_flat()
+        yield Token(close_text, close_text, self.location)
+
+    def source_text(self) -> str:
+        """Reconstruct (approximately) the source spelling of this token."""
+        if not self.is_tree:
+            if self.kind == "StringLit":
+                return '"%s"' % _escape(self.text)
+            if self.kind == "CharLit":
+                return "'%s'" % _escape(self.text)
+            return self.text
+        open_text, close_text = self.delimiters()
+        inner = " ".join(child.source_text() for child in self.children)
+        return f"{open_text}{inner}{close_text}"
+
+    def __repr__(self) -> str:
+        if self.is_tree:
+            return f"Token({self.kind}, {len(self.children)} children)"
+        return f"Token({self.kind}, {self.text!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.text == other.text
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text))
+
+
+def _escape(text: str) -> str:
+    out = []
+    escapes = {"\n": "\\n", "\t": "\\t", "\r": "\\r", '"': '\\"', "'": "\\'", "\\": "\\\\"}
+    for ch in text:
+        out.append(escapes.get(ch, ch))
+    return "".join(out)
+
+
+def flatten(tokens: Sequence[Token]) -> Iterator[Token]:
+    """Flatten a token-tree sequence back into a delimiter token stream."""
+    for token in tokens:
+        yield from token.iter_flat()

@@ -1,0 +1,45 @@
+"""The standard macro library (paper section 3).
+
+"Maya provides a macro library that includes features such as
+assertions, printf-style string formatting, comprehension syntax for
+building arrays and collections, and foreach syntax for walking them."
+
+``install_macro_library(compiler)`` registers every metaprogram under
+its ``maya.util`` name so application code can ``use`` it.
+"""
+
+from repro.macros.foreach import (
+    AForEach,
+    EForEach,
+    EForEachName,
+    ForEach,
+    VForEach,
+)
+from repro.macros.assertion import Assert
+from repro.macros.printf import Printf
+from repro.macros.comprehension import Collect
+from repro.macros.typedef import Typedef
+
+
+def install_macro_library(compiler) -> None:
+    """Register the maya.util metaprograms with a compiler."""
+    compiler.provide("maya.util.ForEach", ForEach())
+    compiler.provide("maya.util.EForEach", EForEach())
+    compiler.provide("maya.util.Assert", Assert())
+    compiler.provide("maya.util.Printf", Printf())
+    compiler.provide("maya.util.Collect", Collect())
+    compiler.provide("maya.util.Typedef", Typedef())
+
+
+__all__ = [
+    "AForEach",
+    "Assert",
+    "Collect",
+    "EForEach",
+    "EForEachName",
+    "ForEach",
+    "Printf",
+    "Typedef",
+    "VForEach",
+    "install_macro_library",
+]

@@ -1,0 +1,40 @@
+"""The assert macro.
+
+``assert(cond);`` and ``assert(cond, message);`` — no new production
+needed: the Mayan overrides the base expression-statement semantics for
+statements whose expression is a call to the identifier ``assert``
+(value-dispatched, so ``assert`` is not a reserved word).
+"""
+
+from __future__ import annotations
+
+from repro.ast import nodes as n
+from repro.ast import to_source
+from repro.dispatch import Mayan
+from repro.javalang import node_symbol
+from repro.patterns import Template
+
+_ASSERT_TEMPLATE = Template(
+    "Statement",
+    "if (!($cond)) throw new java.lang.AssertionError($message);",
+    cond="Expression",
+    message="Expression",
+)
+
+
+class Assert(Mayan):
+    result = "Statement"
+    pattern = "assert (ArgList args) \\;"
+
+    def expand(self, ctx, args):
+        arg_list = ctx.parse_subtree(args, node_symbol("ArgList"))
+        if not 1 <= len(arg_list) <= 2:
+            raise ctx.error("assert takes (condition[, message])", ctx.location)
+        cond = arg_list[0]
+        if len(arg_list) == 2:
+            message = arg_list[1]
+        else:
+            # Default message: the asserted source text.
+            message = n.Literal("String", to_source(cond),
+                                location=cond.location)
+        return ctx.instantiate(_ASSERT_TEMPLATE, cond=cond, message=message)

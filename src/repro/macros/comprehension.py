@@ -1,0 +1,60 @@
+"""Collection comprehensions, layered on foreach.
+
+``collect(target, elem : Formal : source);`` appends ``elem`` (with the
+formal bound) to ``target`` for every element of ``source``.  The
+expansion *generates foreach syntax*, demonstrating macro layering:
+instantiating the template re-dispatches the foreach Mayans.
+"""
+
+from __future__ import annotations
+
+from repro.dispatch import Mayan, MetaProgram
+from repro.macros.foreach import ForEach
+from repro.patterns import Template
+
+_COLLECT_TEMPLATE = Template(
+    "Statement",
+    "$src.foreach($var) { $target.addElement($elem); }",
+    src="Expression",
+    var="Formal",
+    target="Expression",
+    elem="Expression",
+)
+
+
+class Collect(MetaProgram):
+    """Declares the collect statement and its Mayan.
+
+    The production uses a multi-symbol paren group, so the group's
+    pieces arrive as a SyntaxList: (target, ',', elem, ':', formal,
+    ':', source).
+    """
+
+    PRODUCTION = (
+        "collect (Expression , Expression \\: Formal \\: Expression) \\;"
+    )
+
+    def __init__(self):
+        self.foreach = ForEach()
+
+    def run(self, env) -> None:
+        self.foreach.run(env)
+        env.add_production("Statement", self.PRODUCTION, tag="collect_stmt")
+        _CollectBody().run(env)
+
+
+class _CollectBody(Mayan):
+    result = "Statement"
+    pattern = (
+        "collect (Expression target , Expression elem "
+        "\\: Formal var \\: Expression source) \\;"
+    )
+
+    def expand(self, ctx, target, elem, var, source):
+        return ctx.instantiate(
+            _COLLECT_TEMPLATE,
+            src=source,
+            var=var,
+            target=target,
+            elem=elem,
+        )

@@ -1,0 +1,211 @@
+"""The foreach macros (paper section 3, figures 2 and 7).
+
+One production, several Mayans chosen by multiple dispatch:
+
+* ``EForEach`` — receivers of static type java.util.Enumeration
+  (figure 2's general expansion);
+* ``EForEachName`` — the same for plain dotted-name receivers;
+* ``AForEach`` — receivers of static array type;
+* ``VForEach`` — receivers of the *syntactic shape*
+  ``v.elements()`` where ``v : maya.util.Vector`` — the optimized
+  expansion that avoids allocating an Enumeration and calling its
+  methods (figure 7's specializer structure).
+
+The production (paper section 3.1)::
+
+    abstract Statement syntax(MethodName(Formal)
+                              lazy(BraceTree, BlockStmts));
+"""
+
+from __future__ import annotations
+
+from repro.ast.nodes import DeclStmt, Reference, StrictTypeName
+from repro.dispatch import Mayan, MetaProgram
+from repro.patterns import Template
+
+FOREACH_PRODUCTION = "MethodName (Formal) lazy(BraceTree, BlockStmts)"
+
+_ENUM_TEMPLATE = Template(
+    "Statement",
+    """
+    for (java.util.Enumeration enumVar = $enumExp;
+         enumVar.hasMoreElements(); ) {
+        $declStmt
+        $varRef = ($castType) enumVar.nextElement();
+        $body
+    }
+    """,
+    enumExp="Expression",
+    declStmt="Statement",
+    varRef="Expression",
+    castType="TypeName",
+    body="BlockStmts",
+)
+
+_ARRAY_TEMPLATE = Template(
+    "Statement",
+    """
+    {
+        java.lang.Object[] arr = $arrExp;
+        int len = arr.length;
+        for (int i = 0; i < len; i++) {
+            $declStmt
+            $varRef = ($castType) arr[i];
+            $body
+        }
+    }
+    """,
+    arrExp="Expression",
+    declStmt="Statement",
+    varRef="Expression",
+    castType="TypeName",
+    body="BlockStmts",
+)
+
+_VECTOR_TEMPLATE = Template(
+    "Statement",
+    """
+    {
+        maya.util.Vector vec = $vecExp;
+        int len = vec.size();
+        java.lang.Object[] arr = vec.getElementData();
+        for (int i = 0; i < len; i++) {
+            $declStmt
+            $varRef = ($castType) arr[i];
+            $body
+        }
+    }
+    """,
+    vecExp="Expression",
+    declStmt="Statement",
+    varRef="Expression",
+    castType="TypeName",
+    body="BlockStmts",
+)
+
+
+def _expand_enum(ctx, enum_exp, var, body):
+    cast_type = StrictTypeName.make(var.get_type())
+    return ctx.instantiate(
+        _ENUM_TEMPLATE,
+        enumExp=enum_exp,
+        declStmt=DeclStmt.make(var),
+        varRef=Reference.make_expr(var),
+        castType=cast_type,
+        body=body,
+    )
+
+
+class EForEach(Mayan):
+    """foreach over an Enumeration-typed receiver expression."""
+
+    result = "Statement"
+    pattern = (
+        "Expression:java.util.Enumeration enumExp \\. foreach "
+        "(Formal var) lazy(BraceTree, BlockStmts) body"
+    )
+
+    def expand(self, ctx, enumExp, var, body):
+        return _expand_enum(ctx, enumExp, var, body)
+
+
+class EForEachName(Mayan):
+    """foreach over an Enumeration-typed *name* receiver."""
+
+    result = "Statement"
+    pattern = (
+        "QName:java.util.Enumeration enumExp \\. foreach "
+        "(Formal var) lazy(BraceTree, BlockStmts) body"
+    )
+
+    def expand(self, ctx, enumExp, var, body):
+        return _expand_enum(ctx, enumExp, var, body)
+
+
+class AForEach(Mayan):
+    """foreach over an Object-array receiver."""
+
+    result = "Statement"
+    pattern = (
+        "Expression:java.lang.Object[] arrExp \\. foreach "
+        "(Formal var) lazy(BraceTree, BlockStmts) body"
+    )
+
+    def expand(self, ctx, arrExp, var, body):
+        cast_type = StrictTypeName.make(var.get_type())
+        return ctx.instantiate(
+            _ARRAY_TEMPLATE,
+            arrExp=arrExp,
+            declStmt=DeclStmt.make(var),
+            varRef=Reference.make_expr(var),
+            castType=cast_type,
+            body=body,
+        )
+
+
+class AForEachName(Mayan):
+    """foreach over an Object-array *name* receiver."""
+
+    result = "Statement"
+    pattern = (
+        "QName:java.lang.Object[] arrExp \\. foreach "
+        "(Formal var) lazy(BraceTree, BlockStmts) body"
+    )
+
+    def expand(self, ctx, arrExp, var, body):
+        return AForEach.expand(self, ctx, arrExp, var, body)
+
+
+class VForEach(Mayan):
+    """The optimized foreach: dispatches on both syntactic structure
+    (a call to ``elements()``) and the receiver's static type
+    (``maya.util.Vector``), so the expansion can walk the vector's
+    backing array directly — "this code can avoid both object
+    allocation and method calls" (paper section 3)."""
+
+    result = "Statement"
+    pattern = (
+        "QName:maya.util.Vector v \\. elements ( ) \\. foreach "
+        "(Formal var) lazy(BraceTree, BlockStmts) body"
+    )
+
+    def expand(self, ctx, v, var, body):
+        cast_type = StrictTypeName.make(var.get_type())
+        return ctx.instantiate(
+            _VECTOR_TEMPLATE,
+            vecExp=v,
+            declStmt=DeclStmt.make(var),
+            varRef=Reference.make_expr(var),
+            castType=cast_type,
+            body=body,
+        )
+
+
+class VForEachPrimary(VForEach):
+    """VForEach for parenthesized/compound receivers."""
+
+    pattern = (
+        "Expression:maya.util.Vector v \\. elements ( ) \\. foreach "
+        "(Formal var) lazy(BraceTree, BlockStmts) body"
+    )
+
+
+class ForEach(MetaProgram):
+    """The aggregate metaprogram: declares the foreach production and
+    imports every built-in foreach Mayan (paper section 3.3 describes
+    ``maya.util.ForEach`` doing exactly this)."""
+
+    def __init__(self):
+        self.mayans = [
+            EForEach(),
+            EForEachName(),
+            AForEach(),
+            AForEachName(),
+            VForEach(),
+            VForEachPrimary(),
+        ]
+
+    def run(self, env) -> None:
+        env.add_production("Statement", FOREACH_PRODUCTION, tag="foreach_stmt")
+        for mayan in self.mayans:
+            mayan.run(env)

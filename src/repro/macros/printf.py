@@ -1,0 +1,117 @@
+"""printf-style formatting with compile-time format checking.
+
+``out.printf("%s = %d", name, count);`` — the format string is checked
+*statically* against the argument count and static types, then the call
+expands to a chain of string concatenations and a single println.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.ast import nodes as n
+from repro.dispatch import Mayan
+from repro.javalang import node_symbol
+from repro.types import PrimitiveType
+
+_DIRECTIVE = re.compile(r"%[sdfbc%]")
+
+_EXPECTED = {
+    "%d": ("byte", "short", "int", "long", "char"),
+    "%f": ("float", "double"),
+    "%b": ("boolean",),
+    "%c": ("char",),
+}
+
+
+class PrintfError(Exception):
+    """A format string mismatch, reported at compile time."""
+
+
+class Printf(Mayan):
+    result = "MethodInvocation"
+    pattern = "Expression:java.io.PrintStream out \\. printf (ArgList args)"
+
+    def run(self, env):
+        super().run(env)
+        _PrintfName().run(env)
+
+    def expand(self, ctx, out, args):
+        arg_list = ctx.parse_subtree(args, node_symbol("ArgList"))
+        if not arg_list or not isinstance(arg_list[0], n.Literal) \
+                or arg_list[0].kind != "String":
+            raise PrintfError(
+                f"{ctx.location}: printf needs a literal format string"
+            )
+        format_string = arg_list[0].value
+        values = arg_list[1:]
+        pieces = self._check(format_string, values, ctx.location)
+        concat = _concat(pieces, arg_list[0].location)
+        call = n.MethodInvocation(
+            n.MethodName(out, ("print",), location=ctx.location),
+            [concat],
+            location=ctx.location,
+        )
+        return call
+
+    def _check(self, format_string: str, values: List, location) -> List:
+        pieces: List = []
+        cursor = 0
+        value_index = 0
+        for match in _DIRECTIVE.finditer(format_string):
+            directive = match.group(0)
+            if match.start() > cursor:
+                pieces.append(format_string[cursor:match.start()])
+            cursor = match.end()
+            if directive == "%%":
+                pieces.append("%")
+                continue
+            if value_index >= len(values):
+                raise PrintfError(
+                    f"{location}: format {directive} has no argument"
+                )
+            value = values[value_index]
+            value_index += 1
+            expected = _EXPECTED.get(directive)
+            if expected is not None:
+                actual = value.get_static_type()
+                if not (isinstance(actual, PrimitiveType)
+                        and actual.name in expected):
+                    raise PrintfError(
+                        f"{location}: {directive} expects "
+                        f"{'/'.join(expected)}, got {actual}"
+                    )
+            pieces.append(value)
+        if cursor < len(format_string):
+            pieces.append(format_string[cursor:])
+        if value_index != len(values):
+            raise PrintfError(
+                f"{location}: {len(values) - value_index} unused printf "
+                f"arguments"
+            )
+        if "\\n" in format_string or format_string.endswith("\n"):
+            pass
+        return pieces
+
+
+def _concat(pieces: List, location) -> n.Expression:
+    """Fold pieces into a left-nested string concatenation."""
+    expr: n.Expression = n.Literal("String", "", location=location)
+    if pieces and isinstance(pieces[0], str):
+        expr = n.Literal("String", pieces[0], location=location)
+        pieces = pieces[1:]
+    for piece in pieces:
+        right = n.Literal("String", piece, location=location) \
+            if isinstance(piece, str) else piece
+        expr = n.BinaryExpr("+", expr, right, location=location)
+    return expr
+
+
+class _PrintfName(Printf):
+    """printf on dotted-name receivers (e.g. ``System.out.printf``)."""
+
+    pattern = "QName:java.io.PrintStream out \\. printf (ArgList args)"
+
+    def run(self, env):
+        Mayan.run(self, env)

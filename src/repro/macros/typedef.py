@@ -1,0 +1,56 @@
+"""Typedef: local Mayans closing over enclosing state (paper figure 3).
+
+``typedef (Alias = some.Class) { ... }`` makes ``Alias`` denote the
+class inside the block.  The implementation mirrors the paper exactly:
+a *local* Mayan (``_Subst``) defined on the name-to-type production
+closes over the alias and replacement, and a UseStmt exposes it to the
+lazily parsed body.
+"""
+
+from __future__ import annotations
+
+from repro.ast.nodes import StrictTypeName
+from repro.dispatch import Mayan, MetaProgram
+
+
+class _Subst(Mayan):
+    """The local Mayan: substitutes the type alias, or defers.
+
+    Defined on ``TypeName -> QName`` so every type name in the body is
+    compared against the alias; non-matches fall through with
+    nextRewrite (paper figure 3: "resolve this name normally").
+    """
+
+    result = "TypeName"
+    pattern = "QName name"
+
+    def __init__(self, alias: str, replacement):
+        super().__init__()
+        self.alias = alias
+        self.replacement = replacement
+
+    def expand(self, ctx, name):
+        if name.parts == (self.alias,):
+            return StrictTypeName.make(self.replacement)
+        return ctx.next_rewrite()
+
+
+class TypedefMayan(Mayan):
+    result = "Statement"
+    pattern = (
+        "typedef (Identifier var = QName val) "
+        "lazy(BraceTree, BlockStmts) body"
+    )
+
+    def expand(self, ctx, var, val, body):
+        replacement = ctx.resolve_type(".".join(val.parts))
+        subst = _Subst(var.text, replacement)
+        return ctx.use_in(subst, body)
+
+
+class Typedef(MetaProgram):
+    PRODUCTION = "typedef (UnboundLocal = QName) lazy(BraceTree, BlockStmts)"
+
+    def run(self, env) -> None:
+        env.add_production("Statement", self.PRODUCTION, tag="typedef_stmt")
+        TypedefMayan().run(env)

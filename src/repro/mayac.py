@@ -1,0 +1,81 @@
+"""mayac: a command-line front end.
+
+    python -m repro.mayac [options] file.maya ...
+
+Options:
+    --use NAME        import a metaprogram compiler-wide (repeatable;
+                      the paper's -use option)
+    --run CLASS       interpret CLASS.main() after compiling
+    --expand          print the expanded (plain Java) source
+    --no-macros       do not register the maya.util library
+    --multijava       register the MultiJava extension
+
+The macro library is registered by default, so sources can say
+``use maya.util.ForEach;`` etc.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import MayaCompiler
+from repro.interp import Interpreter
+from repro.macros import install_macro_library
+from repro.multijava import install_multijava
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mayac", description="Compile (and run) Maya source files."
+    )
+    parser.add_argument("files", nargs="+", help="source files")
+    parser.add_argument("--use", action="append", default=[],
+                        metavar="NAME",
+                        help="import a metaprogram compiler-wide")
+    parser.add_argument("--run", metavar="CLASS",
+                        help="run CLASS.main() after compiling")
+    parser.add_argument("--expand", action="store_true",
+                        help="print the expanded source")
+    parser.add_argument("--no-macros", action="store_true",
+                        help="skip the maya.util macro library")
+    parser.add_argument("--multijava", action="store_true",
+                        help="enable the MultiJava extension")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    compiler = MayaCompiler()
+    if not args.no_macros:
+        install_macro_library(compiler)
+    if args.multijava:
+        install_multijava(compiler)
+    for name in args.use:
+        compiler.use(name)
+
+    program = None
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            program = compiler.compile(source, path)
+        except Exception as error:  # surface compile errors cleanly
+            print(f"mayac: {error}", file=sys.stderr)
+            return 1
+
+    if args.expand and program is not None:
+        print(program.source())
+
+    if args.run and program is not None:
+        interp = Interpreter(program, echo=True)
+        try:
+            interp.run_static(args.run)
+        except Exception as error:
+            print(f"mayac: runtime error: {error}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""A direct (non-Maya) multimethod compiler: the comparison baseline.
+
+The paper compares the Maya-based MultiJava against Clifton's direct
+modification of the kjc compiler.  This module is the analogous
+baseline for our benchmarks: it implements the same multimethod
+dispatch semantics by *hand-building* dispatcher ASTs from an explicit
+specification, without any of Maya's machinery (no grammar extension,
+no Mayans, no templates, no hygiene) — the style of code one writes
+when patching a compiler directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ast import nodes as n
+from repro.types import ClassType, Type, VOID
+
+
+class DirectMultimethodCompiler:
+    """Builds instanceof-chain dispatchers for explicitly listed cases.
+
+    ``cases`` is a list of (specializer classes or None, impl name)
+    pairs, most generic last.
+    """
+
+    def __init__(self, owner: ClassType, name: str,
+                 param_types: Sequence[Type], return_type: Type):
+        self.owner = owner
+        self.name = name
+        self.param_types = list(param_types)
+        self.return_type = return_type
+        self.cases: List[Tuple[List[Optional[ClassType]], str]] = []
+
+    def add_case(self, specializers: Sequence[Optional[ClassType]],
+                 impl_name: str) -> None:
+        self.cases.append((list(specializers), impl_name))
+
+    def build_dispatcher(self) -> n.MethodDecl:
+        formal_names = [f"arg{i}" for i in range(len(self.param_types))]
+        formals = [
+            n.Formal([], n.StrictTypeName.make(t), n.Ident(name))
+            for t, name in zip(self.param_types, formal_names)
+        ]
+        # Most generic case is the innermost else.
+        ordered = sorted(
+            self.cases,
+            key=lambda case: sum(
+                len(s.ancestors()) if s else 0 for s in case[0]
+            ),
+        )
+        expr = self._call(ordered[0], formal_names)
+        for case in ordered[1:]:
+            expr = n.ConditionalExpr(
+                self._test(case[0], formal_names),
+                self._call(case, formal_names),
+                expr,
+            )
+        if self.return_type is VOID:
+            stmts = [n.ExprStmt(expr), n.ReturnStmt(None)]
+        else:
+            stmts = [n.ReturnStmt(expr)]
+        return n.MethodDecl(
+            ["public"],
+            n.StrictTypeName.make(self.return_type),
+            n.Ident(self.name),
+            formals,
+            [],
+            n.BlockStmts(stmts),
+        )
+
+    def _test(self, specializers, formal_names) -> n.Expression:
+        tests: List[n.Expression] = []
+        for spec, name in zip(specializers, formal_names):
+            if spec is None:
+                continue
+            tests.append(
+                n.ParenExpr(
+                    n.InstanceofExpr(
+                        n.NameExpr((name,)), n.StrictTypeName.make(spec)
+                    )
+                )
+            )
+        expr = tests[0]
+        for test in tests[1:]:
+            expr = n.BinaryExpr("&&", expr, test)
+        return expr
+
+    def _call(self, case, formal_names) -> n.Expression:
+        specializers, impl_name = case
+        args: List[n.Expression] = []
+        for spec, name in zip(specializers, formal_names):
+            arg: n.Expression = n.NameExpr((name,))
+            if spec is not None:
+                arg = n.CastExpr(n.StrictTypeName.make(spec), arg)
+            args.append(arg)
+        return n.MethodInvocation(
+            n.MethodName(n.ThisExpr(), (impl_name,)), args
+        )

@@ -1,0 +1,48 @@
+"""Super sends inside multimethods.
+
+"A super call in a multimethod (to the same generic function) selects
+the next applicable method, rather than the method defined by a
+superclass" (paper 5.1).  The translation is a *method-local Mayan*
+scoped over the multimethod's body: it matches ``super.name(args)``
+with the generic function's own name (a token-value specializer) and
+rewrites it to a direct call of the next-most-applicable
+implementation; other super sends fall through with nextRewrite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ast import nodes as n
+from repro.dispatch import Mayan
+from repro.javalang import node_symbol
+
+
+class SuperSend(Mayan):
+    result = "MethodInvocation"
+
+    def __init__(self, generic_function, multimethod):
+        super().__init__()
+        self.generic_function = generic_function
+        self.multimethod = multimethod
+        self.pattern = (
+            f"super \\. {generic_function.name} (ArgList args)"
+        )
+
+    def expand(self, ctx, args):
+        arg_list = args
+        if not isinstance(arg_list, list):
+            arg_list = ctx.parse_subtree(args, node_symbol("ArgList"))
+        if len(arg_list) != len(self.generic_function.param_types):
+            return ctx.next_rewrite()
+        target = self.generic_function.next_applicable(self.multimethod)
+        call_args: List[n.Expression] = []
+        for value, spec in zip(arg_list, target.specializers):
+            if spec is not None:
+                value = n.CastExpr(n.StrictTypeName.make(spec), value)
+            call_args.append(value)
+        return n.MethodInvocation(
+            n.MethodName(n.ThisExpr(), (target.impl_name,)),
+            call_args,
+            location=ctx.location,
+        )

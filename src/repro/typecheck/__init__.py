@@ -1,0 +1,29 @@
+"""Lazy type checking, interleaved with parsing.
+
+Types are computed on demand: ``static_type_of`` is called both by the
+Mayan dispatcher (static-type specializers) *during parsing* and by the
+class-compiler phase afterwards.  Scopes are built incrementally by the
+statement-at-a-time block driver, so a binding created by one statement
+(or by a Mayan's expansion) is visible to later, lazily parsed code.
+"""
+
+from repro.typecheck.env import Binding, Scope
+from repro.typecheck.checker import (
+    CheckError,
+    check_block,
+    check_statement,
+    resolve_name,
+    resolve_type_name,
+    static_type_of,
+)
+
+__all__ = [
+    "Binding",
+    "CheckError",
+    "Scope",
+    "check_block",
+    "check_statement",
+    "resolve_name",
+    "resolve_type_name",
+    "static_type_of",
+]

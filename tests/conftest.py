@@ -1,0 +1,45 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro import MayaCompiler
+from repro.interp import Interpreter
+from repro.macros import install_macro_library
+from repro.multijava import install_multijava
+
+
+def make_compiler(macros: bool = False, multijava: bool = False) -> MayaCompiler:
+    compiler = MayaCompiler()
+    if macros:
+        install_macro_library(compiler)
+    if multijava:
+        install_multijava(compiler)
+    return compiler
+
+
+def compile_source(source: str, macros: bool = False, multijava: bool = False):
+    return make_compiler(macros, multijava).compile(source)
+
+
+def run_main(source: str, cls: str = "Demo", macros: bool = False,
+             multijava: bool = False):
+    """Compile, run ``cls.main()``, and return the printed lines."""
+    program = compile_source(source, macros, multijava)
+    interp = Interpreter(program)
+    interp.run_static(cls)
+    return interp.output
+
+
+@pytest.fixture
+def compiler():
+    return make_compiler()
+
+
+@pytest.fixture
+def macro_compiler():
+    return make_compiler(macros=True)
+
+
+@pytest.fixture
+def mj_compiler():
+    return make_compiler(multijava=True)

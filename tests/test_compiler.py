@@ -1,0 +1,190 @@
+"""The mayac pipeline: phases, units, and the public API."""
+
+import pytest
+
+from repro import MayaCompiler, MayaError, run_program
+from repro.ast import nodes as n
+from repro.interp import Interpreter
+from tests.conftest import compile_source, make_compiler
+
+
+class TestPhases:
+    def test_shaper_declares_members(self):
+        program = compile_source("""
+            class Point {
+                int x;
+                int getX() { return x; }
+                Point(int x) { this.x = x; }
+            }
+        """)
+        point = program.class_named("Point").type
+        assert point.find_field("x") is not None
+        assert point.find_method("getX", []) is not None
+        assert point.find_constructor(
+            [program.env.registry.resolve_type(("int",))]
+        ) is not None
+
+    def test_superclass_resolved(self):
+        program = compile_source("""
+            class Base { }
+            class Sub extends Base { }
+        """)
+        sub = program.class_named("Sub").type
+        assert sub.superclass.simple_name == "Base"
+
+    def test_default_superclass_is_object(self):
+        program = compile_source("class Solo { }")
+        solo = program.class_named("Solo").type
+        assert solo.superclass.name == "java.lang.Object"
+
+    def test_interface_members_abstract(self):
+        program = compile_source("interface I { int f(); }")
+        klass = program.class_named("I").type
+        assert klass.find_method("f", []).is_abstract
+
+    def test_package_qualifies_names(self):
+        program = compile_source("""
+            package com.example;
+            class Thing { }
+        """)
+        assert "com.example.Thing" in program.classes
+
+    def test_constructor_name_must_match(self):
+        with pytest.raises(MayaError):
+            compile_source("class A { Wrong() { } }")
+
+    def test_class_hooks_run(self):
+        seen = []
+        compiler = make_compiler()
+        compiler.env.class_hooks.append(
+            lambda item, env: seen.append(item.type.simple_name))
+        compiler.compile("class Hooked { }")
+        assert seen == ["Hooked"]
+
+
+class TestMultipleUnits:
+    def test_classes_accumulate_across_compiles(self):
+        compiler = make_compiler()
+        compiler.compile("class Lib { static int f() { return 7; } }")
+        program = compiler.compile("""
+            class App {
+                static void main() { System.out.println(Lib.f()); }
+            }
+        """)
+        interp = Interpreter(program)
+        interp.run_static("App")
+        assert interp.output == ["7"]
+
+    def test_separate_compilation_of_extension_and_app(self):
+        """Figure 1's two-stage workflow across compile() calls."""
+        from repro.dispatch import Mayan
+        from repro.patterns import Template
+
+        class Twice(Mayan):
+            result = "Statement"
+            pattern = "twice Statement body"
+            TEMPLATE = Template("Statement", "{ $b $b }", b="Statement")
+
+            def run(self, env):
+                env.add_production("Statement", "twice Statement")
+                super().run(env)
+
+            def expand(self, ctx, body):
+                return ctx.instantiate(self.TEMPLATE, b=body)
+
+        compiler = make_compiler()
+        compiler.provide("ext.Twice", Twice())
+        program = compiler.compile("""
+            class Demo {
+                static void main() {
+                    use ext.Twice;
+                    twice System.out.println("hi");
+                }
+            }
+        """)
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        assert interp.output == ["hi", "hi"]
+
+    def test_compiler_wide_use_option(self):
+        """The -use command line option equivalent."""
+        from repro.macros import install_macro_library
+
+        compiler = make_compiler()
+        install_macro_library(compiler)
+        compiler.use("maya.util.ForEach")
+        program = compiler.compile("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    Vector v = new Vector();
+                    v.addElement("no use directive needed");
+                    v.elements().foreach(String s) {
+                        System.out.println(s);
+                    }
+                }
+            }
+        """)
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        assert interp.output == ["no use directive needed"]
+
+
+class TestPublicAPI:
+    def test_run_program_helper(self):
+        program = compile_source("""
+            class Demo { static int answer() { return 42; } }
+        """)
+        assert run_program(program, "Demo", "answer") == 42
+
+    def test_compile_expression(self):
+        compiler = make_compiler()
+        expr = compiler.compile_expression("1 + 2 * 3")
+        assert isinstance(expr, n.BinaryExpr)
+
+    def test_unknown_class_lookup(self):
+        program = compile_source("class A { }")
+        with pytest.raises(MayaError):
+            program.class_named("Nope")
+
+    def test_unknown_metaprogram(self):
+        with pytest.raises(MayaError):
+            compile_source("""
+                class Demo { static void main() { use no.Such; } }
+            """)
+
+    def test_program_source_roundtrip_compiles(self):
+        """Unparsed expanded output is itself valid input."""
+        program = compile_source("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    use maya.util.ForEach;
+                    Vector v = new Vector();
+                    v.addElement("x");
+                    v.elements().foreach(String s) {
+                        System.out.println(s);
+                    }
+                }
+            }
+        """, macros=True)
+        expanded = program.source()
+        # The expansion is plain Java: recompile WITHOUT macros.
+        reprogram = compile_source(expanded.replace("/* use maya.util.ForEach */", ""))
+        interp = Interpreter(reprogram)
+        interp.run_static("Demo")
+        assert interp.output == ["x"]
+
+    def test_interpreter_call_api(self):
+        program = compile_source("""
+            class Acc {
+                int total;
+                void add(int x) { total += x; }
+                int get() { return total; }
+            }
+        """)
+        interp = Interpreter(program)
+        acc = interp.new_instance("Acc")
+        interp.call(acc, "add", [5])
+        interp.call(acc, "add", [7])
+        assert interp.call(acc, "get") == 12

@@ -1,0 +1,233 @@
+"""Mayan dispatch rules (paper 4.4, experiment E7): applicability,
+symmetric specificity, ambiguity errors, lexical tie-breaking,
+nextRewrite."""
+
+import pytest
+
+from repro.ast import nodes as n
+from repro.core import CompileContext, CompileEnv
+from repro.dispatch import AmbiguousDispatchError, Mayan
+from repro.lalr import Parser
+from repro.lexer import stream_lex
+from tests.conftest import run_main
+
+
+def parse_with(env, start, source):
+    ctx = CompileContext(env)
+    parser = Parser(env.tables(), ctx)
+    value, _ = parser.parse(start, stream_lex(source))
+    return value
+
+
+def tag_literal(tag):
+    """A Mayan on int literals that wraps them in a marker string."""
+
+    class TagLiteral(Mayan):
+        result = "Literal"
+        pattern = "IntLit value"
+
+        def expand(self, ctx, value):
+            return n.Literal("String", f"{tag}:{value.value}")
+
+    return TagLiteral()
+
+
+class TestOverrideAndTieBreaking:
+    def test_user_mayan_overrides_base_semantics(self):
+        env = CompileEnv()
+        tag_literal("A").run(env)
+        lit = parse_with(env, "Expression", "42")
+        assert lit.value == "A:42"
+
+    def test_later_import_wins(self):
+        """Mayans that are imported later override earlier Mayans."""
+        env = CompileEnv()
+        tag_literal("first").run(env)
+        tag_literal("second").run(env)
+        lit = parse_with(env, "Expression", "7")
+        assert lit.value == "second:7"
+
+    def test_lexical_scoping_of_imports(self):
+        """A child environment's imports do not leak to the parent."""
+        env = CompileEnv()
+        child = env.child()
+        tag_literal("inner").run(child)
+        assert parse_with(child, "Expression", "1").value == "inner:1"
+        assert parse_with(env, "Expression", "1").value == 1
+
+    def test_token_value_dispatch(self):
+        """Dispatching on identifier values: no reserved words."""
+        env = CompileEnv()
+
+        class OnlyFoo(Mayan):
+            result = "Expression"
+            pattern = "foo ( )"
+
+            def expand(self, ctx):
+                return n.Literal("int", 99)
+
+        OnlyFoo().run(env)
+        assert parse_with(env, "Expression", "foo()").value == 99
+        other = parse_with(env, "Expression", "bar()")
+        assert isinstance(other, n.MethodInvocation)
+
+
+class TestNextRewrite:
+    def test_next_rewrite_falls_to_base(self):
+        env = CompileEnv()
+
+        class PassThrough(Mayan):
+            result = "Literal"
+            pattern = "IntLit value"
+
+            def expand(self, ctx, value):
+                return ctx.next_rewrite()
+
+        PassThrough().run(env)
+        lit = parse_with(env, "Expression", "5")
+        assert isinstance(lit, n.Literal) and lit.value == 5
+
+    def test_next_rewrite_chains_through_imports(self):
+        env = CompileEnv()
+        calls = []
+
+        def chain_mayan(tag, defer):
+            class Chain(Mayan):
+                result = "Literal"
+                pattern = "IntLit value"
+
+                def expand(self, ctx, value):
+                    calls.append(tag)
+                    if defer:
+                        return ctx.next_rewrite()
+                    return n.Literal("String", tag)
+
+            return Chain()
+
+        chain_mayan("bottom", False).run(env)
+        chain_mayan("top", True).run(env)
+        lit = parse_with(env, "Expression", "5")
+        # top imported later => runs first; defers to bottom.
+        assert calls == ["top", "bottom"]
+        assert lit.value == "bottom"
+
+    def test_conditional_rewrite(self):
+        env = CompileEnv()
+
+        class OnlyBigNumbers(Mayan):
+            result = "Literal"
+            pattern = "IntLit value"
+
+            def expand(self, ctx, value):
+                if value.value > 100:
+                    return n.Literal("String", "big")
+                return ctx.next_rewrite()
+
+        OnlyBigNumbers().run(env)
+        assert parse_with(env, "Expression", "5").value == 5
+        assert parse_with(env, "Expression", "500").value == "big"
+
+
+class TestSpecificity:
+    def _typed_mayans(self, env, receiver_types):
+        mayans = []
+        for type_name in receiver_types:
+            class Typed(Mayan):
+                result = "Statement"
+                pattern = (
+                    f"QName:{type_name} e \\. poke ( ) \\;"
+                )
+                tag = type_name
+
+                def expand(self, ctx, e):
+                    return n.ExprStmt(
+                        n.Literal("String", type(self).tag))
+
+            Typed.__name__ = f"Typed_{type_name.split('.')[-1]}"
+            mayans.append(Typed())
+        return mayans
+
+    def test_subtype_spec_more_specific(self):
+        """A maya.util.Vector specializer beats java.util.Vector."""
+        env = CompileEnv()
+        scope_env = env
+        general, specific = self._typed_mayans(
+            env, ["java.util.Vector", "maya.util.Vector"])
+        # Import the more specific one FIRST: specificity must win over
+        # import order.
+        specific.run(env)
+        general.run(env)
+
+        ctx = CompileContext(env)
+        ctx.scope.define(
+            "mv", env.registry.resolve_type(("maya", "util", "Vector")))
+        ctx.scope.define(
+            "jv", env.registry.resolve_type(("java", "util", "Vector")))
+        parser = Parser(env.tables(), ctx)
+        stmt, _ = parser.parse("Statement", stream_lex("mv.poke();"))
+        assert stmt.expr.value == "maya.util.Vector"
+        stmt, _ = parser.parse("Statement", stream_lex("jv.poke();"))
+        assert stmt.expr.value == "java.util.Vector"
+
+    def test_structure_beats_no_structure(self):
+        """VForEach vs EForEach: specializing the receiver's node type
+        (structure) is more specific (paper figure 7 discussion)."""
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.ForEach;
+                    maya.util.Vector v = new maya.util.Vector();
+                    v.addElement("x");
+                    v.elements().foreach(String s) { System.out.println(s); }
+                }
+            }
+        """, macros=True)
+        assert lines == ["x"]
+
+    def test_symmetric_ambiguity_is_error(self):
+        """Two Mayans each more specific on different arguments."""
+        env = CompileEnv()
+        string_type = "java.lang.String"
+        object_type = "java.lang.Object"
+
+        def pair_mayan(left, right):
+            class Pair(Mayan):
+                result = "Expression"
+                pattern = (
+                    f"pair ( Expression:{left} a , Expression:{right} b )"
+                )
+
+                def expand(self, ctx, a, b):
+                    return n.Literal("int", 0)
+
+            return Pair()
+
+        pair_mayan(string_type, object_type).run(env)
+        pair_mayan(object_type, string_type).run(env)
+
+        ctx = CompileContext(env)
+        parser = Parser(env.tables(), ctx)
+        with pytest.raises(AmbiguousDispatchError):
+            parser.parse("Expression", stream_lex('pair("a", "b")'))
+
+    def test_equal_patterns_tie_break_not_error(self):
+        env = CompileEnv()
+        tag_literal("one").run(env)
+        tag_literal("two").run(env)
+        # Equal specificity: no ambiguity error, later import wins.
+        assert parse_with(env, "Expression", "3").value == "two:3"
+
+
+class TestNoApplicableMayan:
+    def test_new_production_without_mayans_errors_on_reduce(self):
+        """Paper 3.2: if no Mayans are declared on a new production, an
+        error is signaled when input causes the production to reduce."""
+        from repro.dispatch import NoApplicableMayanError
+
+        env = CompileEnv()
+        env.add_production("Statement",
+                           "gadget (Expression) \\;", tag="gadget")
+        ctx = CompileContext(env)
+        parser = Parser(env.tables(), ctx)
+        with pytest.raises(NoApplicableMayanError):
+            parser.parse("Statement", stream_lex("gadget(1);"))

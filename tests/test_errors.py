@@ -1,0 +1,177 @@
+"""Error paths across the stack: diagnostics should be located,
+specific, and raised at the right phase."""
+
+import pytest
+
+from repro.interp import Interpreter, JavaThrow
+from repro.lalr import ParseError
+from repro.lexer import LexError
+from repro.multijava import MultiJavaError
+from repro.typecheck import CheckError
+from tests.conftest import compile_source, run_main
+
+
+class TestLexErrors:
+    def test_location_in_message(self):
+        with pytest.raises(LexError) as exc:
+            compile_source("class A {\n  int x = `;\n}")
+        assert ":2:" in str(exc.value)
+
+
+class TestParseErrors:
+    def test_member_level_error(self):
+        with pytest.raises(ParseError):
+            compile_source("class A { int int; }")
+
+    def test_statement_level_error(self):
+        with pytest.raises(ParseError):
+            compile_source("class A { void f() { if; } }")
+
+    def test_expression_error_inside_condition(self):
+        with pytest.raises(ParseError):
+            compile_source("class A { void f() { while (1 +) f(); } }")
+
+    def test_unbalanced_braces_is_lex_error(self):
+        with pytest.raises(LexError):
+            compile_source("class A { void f() { }")
+
+
+class TestCheckErrors:
+    def test_error_names_the_method(self):
+        with pytest.raises(CheckError) as exc:
+            compile_source("""
+                class A { void f() { nosuch(); } }
+            """)
+        assert "nosuch" in str(exc.value)
+
+    def test_duplicate_flag_on_wrong_arity(self):
+        with pytest.raises(CheckError):
+            compile_source("""
+                class A {
+                    int f(int a) { return a; }
+                    void g() { f(1, 2); }
+                }
+            """)
+
+    def test_void_in_expression_position(self):
+        with pytest.raises(CheckError):
+            compile_source("""
+                class A {
+                    void v() { }
+                    void g() { int x = v(); }
+                }
+            """)
+
+    def test_unknown_field(self):
+        with pytest.raises(CheckError):
+            compile_source("""
+                class A { int f() { return this.nothere; } }
+            """)
+
+
+class TestRuntimeErrors:
+    def test_exception_class_preserved(self):
+        with pytest.raises(JavaThrow) as exc:
+            run_main("""
+                class Demo {
+                    static void main() {
+                        Object o = "string";
+                        Integer i = (Integer) o;
+                    }
+                }
+            """)
+        assert exc.value.value.class_type.name == \
+            "java.lang.ClassCastException"
+
+    def test_enumeration_exhaustion(self):
+        with pytest.raises(JavaThrow) as exc:
+            run_main("""
+                import java.util.*;
+                class Demo {
+                    static void main() {
+                        Vector v = new Vector();
+                        Enumeration e = v.elements();
+                        e.nextElement();
+                    }
+                }
+            """)
+        assert "NoSuchElement" in str(exc.value)
+
+    def test_vector_bounds(self):
+        with pytest.raises(JavaThrow):
+            run_main("""
+                import java.util.*;
+                class Demo {
+                    static void main() {
+                        new Vector().elementAt(3);
+                    }
+                }
+            """)
+
+    def test_string_char_at_bounds(self):
+        with pytest.raises(JavaThrow):
+            run_main("""
+                class Demo {
+                    static void main() { "ab".charAt(9); }
+                }
+            """)
+
+
+class TestMultiJavaErrors:
+    def test_super_without_next_method(self):
+        """A super send in the least-specific multimethod has no next
+        applicable method."""
+        with pytest.raises(MultiJavaError):
+            compile_source("""
+                use multijava.MultiJava;
+                class C { }
+                class D extends C { }
+                class Host {
+                    String m(C c) { return "x" + super.m(c); }
+                    String m(C@D c) { return "y"; }
+                }
+                class Demo {
+                    static void main() { new Host().m(new C()); }
+                }
+            """, multijava=True)
+
+    def test_unknown_receiver_class(self):
+        with pytest.raises(MultiJavaError):
+            compile_source("""
+                use multijava.MultiJava;
+                int NoSuch.m() { return 0; }
+            """, multijava=True)
+
+
+class TestHygieneBreakIsDeliberate:
+    def test_identifier_unquote_can_capture(self):
+        """The explicit escape hatch: an unquoted Identifier refers to
+        whatever is in scope at the expansion site."""
+        from repro import Mayan, Template
+        from repro.ast.nodes import Ident
+        from tests.conftest import make_compiler
+
+        class Capture(Mayan):
+            result = "Statement"
+            pattern = "grab ( ) \\;"
+            TEMPLATE = Template("Statement",
+                                "System.out.println($name);",
+                                name="Identifier")
+
+            def expand(self, ctx):
+                return ctx.instantiate(self.TEMPLATE, name=Ident("secret"))
+
+        compiler = make_compiler()
+        compiler.provide("ext.Capture", Capture())
+        program = compiler.compile("""
+            class Demo {
+                static void main() {
+                    use ext.Capture;
+                    String secret = "captured!";
+                    grab();
+                }
+            }
+        """)
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        assert interp.output == ["captured!"]

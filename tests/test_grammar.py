@@ -1,0 +1,195 @@
+"""The grammar model: symbols, productions, helpers, versioning."""
+
+import pytest
+
+from repro.grammar import (
+    Grammar,
+    GrammarError,
+    LazySym,
+    ListSym,
+    Nonterminal,
+    OptSym,
+    Symbol,
+    Terminal,
+    TreeSym,
+    nonterminal,
+    terminal,
+)
+
+
+class TestSymbols:
+    def test_terminal_interning(self):
+        assert terminal("gt_tok") is terminal("gt_tok")
+
+    def test_nonterminal_interning(self):
+        assert nonterminal("GtNT") is nonterminal("GtNT")
+
+    def test_kind_conflict_rejected(self):
+        terminal("gt_kind_clash")
+        with pytest.raises(ValueError):
+            nonterminal("gt_kind_clash")
+
+    def test_node_class_binding(self):
+        class FakeNode:
+            pass
+
+        sym = nonterminal("GtWithClass", FakeNode)
+        assert sym.node_class is FakeNode
+        # Rebinding to a different class is an error.
+        class Other:
+            pass
+
+        with pytest.raises(ValueError):
+            nonterminal("GtWithClass", Other)
+
+    def test_lookup(self):
+        terminal("gt_lookup_me")
+        assert Symbol.lookup("gt_lookup_me") is not None
+        assert Symbol.lookup("gt_never_defined_xyz") is None
+
+    def test_terminal_flag(self):
+        assert terminal("gt_t").is_terminal
+        assert not nonterminal("GtN").is_terminal
+
+
+class TestParameterizedSymbols:
+    def test_list_helper_names(self):
+        element = nonterminal("GtElem")
+        assert ListSym(element, ",").helper_name() == "list(GtElem,',')"
+        assert ListSym(element, ",", min1=True).helper_name() == \
+            "list1(GtElem,',')"
+
+    def test_list_equality(self):
+        element = nonterminal("GtElem2")
+        assert ListSym(element, ",") == ListSym(element, ",")
+        assert ListSym(element, ",") != ListSym(element, ";")
+        assert ListSym(element, ",") != ListSym(element, ",", min1=True)
+
+    def test_lazy_and_tree_names(self):
+        content = nonterminal("GtContent")
+        assert "lazy(BraceTree,GtContent)" == \
+            LazySym(("BraceTree",), content).helper_name()
+        assert "tree(ParenTree,GtContent)" == \
+            TreeSym(("ParenTree",), content).helper_name()
+
+
+class TestGrammarConstruction:
+    def _grammar(self):
+        g = Grammar("gt")
+        E = nonterminal("GtE")
+        g.add_production(E, ["IntLit"], tag="gt_lit", internal=True,
+                         action=lambda ctx, v: v[0].value)
+        g.declare_start(E)
+        return g, E
+
+    def test_version_bumps_on_addition(self):
+        g, E = self._grammar()
+        before = g.version
+        g.add_production(E, ["StringLit"], tag="gt_str", internal=True,
+                         action=lambda ctx, v: v[0].value)
+        assert g.version > before
+
+    def test_duplicate_addition_is_noop(self):
+        g, E = self._grammar()
+        first = g.add_production(E, ["CharLit"], tag="gt_char",
+                                 internal=True, action=lambda ctx, v: v[0])
+        version = g.version
+        second = g.add_production(E, ["CharLit"], tag="gt_char",
+                                  internal=True, action=lambda ctx, v: v[0])
+        assert first is second
+        assert g.version == version
+
+    def test_copy_shares_productions(self):
+        g, E = self._grammar()
+        dup = g.copy()
+        assert dup.productions == g.productions
+        dup.add_production(E, ["DoubleLit"], tag="gt_dbl", internal=True,
+                           action=lambda ctx, v: v[0])
+        assert len(dup.productions) == len(g.productions) + 1
+
+    def test_fingerprint_reflects_content(self):
+        g, E = self._grammar()
+        fp1 = g.fingerprint()
+        dup = g.copy()
+        assert dup.fingerprint() == fp1
+        dup.add_production(E, ["LongLit"], tag="gt_long", internal=True,
+                           action=lambda ctx, v: v[0])
+        assert dup.fingerprint() != fp1
+
+    def test_terminal_lhs_rejected(self):
+        g, _ = self._grammar()
+        with pytest.raises(GrammarError):
+            g.add_production(terminal("gt_bad_lhs"), ["IntLit"])
+
+    def test_list_helper_expansion(self):
+        g, E = self._grammar()
+        S = nonterminal("GtS")
+        g.add_production(S, [ListSym(E, ",")], tag="gt_list", internal=True,
+                         action=lambda ctx, v: v[0])
+        names = {p.lhs.name for p in g.productions}
+        assert "list(GtE,',')" in names
+
+    def test_unknown_rhs_name_becomes_terminal(self):
+        g, E = self._grammar()
+        production = g.add_production(E, ["brand_new_token_gt"],
+                                      tag="gt_new", internal=True,
+                                      action=lambda ctx, v: v[0])
+        assert production.rhs[0].is_terminal
+
+    def test_production_repr(self):
+        g, E = self._grammar()
+        assert "GtE ->" in repr(g.productions[0])
+
+
+class TestHelperActions:
+    """Exercise list/opt helper semantics through a real parse."""
+
+    def _parse(self, grammar, start, text):
+        from repro.lalr import Parser, ParserContext, build_tables
+        from repro.lexer import scan
+
+        parser = Parser(build_tables(grammar), ParserContext())
+        value, _ = parser.parse(start, scan(text))
+        return value
+
+    def test_separated_list_values(self):
+        g = Grammar("gt-list")
+        E = nonterminal("GtLE")
+        S = nonterminal("GtLS")
+        g.add_production(E, ["IntLit"], tag="gtl_lit", internal=True,
+                         action=lambda ctx, v: v[0].value)
+        g.add_production(S, ["[", ListSym(E, ","), "]"], tag="gtl_s",
+                         internal=True, action=lambda ctx, v: v[1])
+        g.declare_start(S)
+        # Note: flat tokens here, so [ ] are plain terminals only if we
+        # scan without tree-building — use explicit scan.
+        assert self._parse(g, "GtLS", "[ 1 , 2 , 3 ]") == [1, 2, 3]
+        assert self._parse(g, "GtLS", "[ ]") == []
+
+    def test_min1_list_rejects_empty(self):
+        from repro.lalr import ParseError
+
+        g = Grammar("gt-list1")
+        E = nonterminal("GtL1E")
+        S = nonterminal("GtL1S")
+        g.add_production(E, ["IntLit"], tag="gtl1_lit", internal=True,
+                         action=lambda ctx, v: v[0].value)
+        g.add_production(S, ["[", ListSym(E, ",", min1=True), "]"],
+                         tag="gtl1_s", internal=True,
+                         action=lambda ctx, v: v[1])
+        g.declare_start(S)
+        assert self._parse(g, "GtL1S", "[ 7 ]") == [7]
+        with pytest.raises(ParseError):
+            self._parse(g, "GtL1S", "[ ]")
+
+    def test_opt_helper(self):
+        g = Grammar("gt-opt")
+        E = nonterminal("GtOE")
+        S = nonterminal("GtOS")
+        g.add_production(E, ["IntLit"], tag="gto_lit", internal=True,
+                         action=lambda ctx, v: v[0].value)
+        g.add_production(S, ["<", OptSym(E), ">"], tag="gto_s",
+                         internal=True, action=lambda ctx, v: v[1])
+        g.declare_start(S)
+        assert self._parse(g, "GtOS", "< 5 >") == 5
+        assert self._parse(g, "GtOS", "< >") is None

@@ -1,0 +1,403 @@
+"""The interpreter: Java semantics of the expanded programs."""
+
+import pytest
+
+from repro.interp import Interpreter, JavaThrow
+from tests.conftest import compile_source, run_main
+
+
+def run(body: str, prelude: str = ""):
+    return run_main(f"""
+        import java.util.*;
+        {prelude}
+        class Demo {{
+            static void main() {{
+                {body}
+            }}
+        }}
+    """)
+
+
+class TestArithmetic:
+    def test_integer_division_truncates_toward_zero(self):
+        assert run("System.out.println(7 / 2); System.out.println(-7 / 2);") \
+            == ["3", "-3"]
+
+    def test_modulo_sign_follows_dividend(self):
+        assert run("System.out.println(-7 % 3); System.out.println(7 % -3);") \
+            == ["-1", "1"]
+
+    def test_division_by_zero_throws(self):
+        with pytest.raises(JavaThrow) as exc:
+            run("int x = 1 / 0;")
+        assert "ArithmeticException" in str(exc.value)
+
+    def test_double_division(self):
+        assert run("System.out.println(7.0 / 2.0);") == ["3.5"]
+
+    def test_shift_operators(self):
+        assert run("System.out.println(1 << 4);") == ["16"]
+        assert run("System.out.println(-8 >> 1);") == ["-4"]
+        assert run("System.out.println(-1 >>> 28);") == ["15"]
+
+    def test_bitwise(self):
+        assert run("System.out.println((12 & 10) + (12 | 10) + (12 ^ 10));") \
+            == ["28"]
+
+    def test_char_arithmetic(self):
+        assert run("char c = 'a'; int x = c + 1; System.out.println(x);") \
+            == ["98"]
+
+    def test_cast_truncation(self):
+        assert run("System.out.println((int) 3.9); System.out.println((int) -3.9);") \
+            == ["3", "-3"]
+
+    def test_int_overflow_wraps_on_cast(self):
+        assert run("System.out.println((int) (2147483647L + 1L));") \
+            == ["-2147483648"]
+
+    def test_compound_assignment(self):
+        assert run("int x = 10; x += 5; x *= 2; x -= 3; System.out.println(x);") \
+            == ["27"]
+
+    def test_increment_decrement(self):
+        assert run("""
+            int x = 5;
+            System.out.println(x++);
+            System.out.println(x);
+            System.out.println(++x);
+            System.out.println(x--);
+        """) == ["5", "6", "7", "7"]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run("""
+            int x = 3;
+            if (x > 2) System.out.println("big");
+            else System.out.println("small");
+        """) == ["big"]
+
+    def test_while_with_break(self):
+        assert run("""
+            int i = 0;
+            while (true) { if (i == 3) break; i++; }
+            System.out.println(i);
+        """) == ["3"]
+
+    def test_continue(self):
+        assert run("""
+            String s = "";
+            for (int i = 0; i < 5; i++) {
+                if (i % 2 == 0) continue;
+                s = s + i;
+            }
+            System.out.println(s);
+        """) == ["13"]
+
+    def test_do_while(self):
+        assert run("""
+            int i = 10;
+            do { i++; } while (i < 5);
+            System.out.println(i);
+        """) == ["11"]
+
+    def test_nested_loops(self):
+        assert run("""
+            int total = 0;
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 3; j++)
+                    total += i * j;
+            System.out.println(total);
+        """) == ["9"]
+
+    def test_short_circuit_and(self):
+        assert run("""
+            int[] xs = new int[1];
+            if (xs.length > 3 && xs[5] == 0) System.out.println("no");
+            System.out.println("safe");
+        """) == ["safe"]
+
+    def test_conditional_expression(self):
+        assert run('System.out.println(1 < 2 ? "yes" : "no");') == ["yes"]
+
+
+class TestObjects:
+    def test_fields_and_constructor(self):
+        assert run_main("""
+            class Point {
+                int x; int y;
+                Point(int x, int y) { this.x = x; this.y = y; }
+                int sum() { return x + y; }
+            }
+            class Demo {
+                static void main() {
+                    Point p = new Point(3, 4);
+                    System.out.println(p.sum());
+                    p.x = 10;
+                    System.out.println(p.sum());
+                }
+            }
+        """) == ["7", "14"]
+
+    def test_field_initializers(self):
+        assert run_main("""
+            class C { int x = 41; int y = x + 1; }
+            class Demo {
+                static void main() { System.out.println(new C().y); }
+            }
+        """) == ["42"]
+
+    def test_virtual_dispatch(self):
+        assert run_main("""
+            class Animal { String speak() { return "..."; } }
+            class Dog extends Animal { String speak() { return "woof"; } }
+            class Demo {
+                static void main() {
+                    Animal a = new Dog();
+                    System.out.println(a.speak());
+                }
+            }
+        """) == ["woof"]
+
+    def test_super_call(self):
+        assert run_main("""
+            class Base { String name() { return "base"; } }
+            class Sub extends Base {
+                String name() { return "sub:" + super.name(); }
+            }
+            class Demo {
+                static void main() {
+                    System.out.println(new Sub().name());
+                }
+            }
+        """) == ["sub:base"]
+
+    def test_constructor_chaining(self):
+        assert run_main("""
+            class Base { int x; Base() { x = 1; } }
+            class Sub extends Base { int y; Sub() { y = x + 1; } }
+            class Demo {
+                static void main() { System.out.println(new Sub().y); }
+            }
+        """) == ["2"]
+
+    def test_explicit_super_constructor(self):
+        assert run_main("""
+            class Base { int x; Base(int x) { this.x = x; } }
+            class Sub extends Base { Sub() { super(41); x++; } }
+            class Demo {
+                static void main() { System.out.println(new Sub().x); }
+            }
+        """) == ["42"]
+
+    def test_this_constructor_delegation(self):
+        assert run_main("""
+            class C {
+                int x;
+                C() { this(99); }
+                C(int x) { this.x = x; }
+            }
+            class Demo {
+                static void main() { System.out.println(new C().x); }
+            }
+        """) == ["99"]
+
+    def test_static_fields(self):
+        assert run_main("""
+            class Counter {
+                static int count = 0;
+                static void bump() { count++; }
+            }
+            class Demo {
+                static void main() {
+                    Counter.bump(); Counter.bump();
+                    System.out.println(Counter.count);
+                }
+            }
+        """) == ["2"]
+
+    def test_instanceof_and_cast(self):
+        assert run_main("""
+            class A { }
+            class B extends A { int only() { return 7; } }
+            class Demo {
+                static void main() {
+                    A x = new B();
+                    if (x instanceof B) System.out.println(((B) x).only());
+                }
+            }
+        """) == ["7"]
+
+    def test_bad_cast_throws(self):
+        with pytest.raises(JavaThrow) as exc:
+            run_main("""
+                class A { }
+                class B extends A { }
+                class Demo {
+                    static void main() {
+                        A x = new A();
+                        B y = (B) x;
+                    }
+                }
+            """)
+        assert "ClassCastException" in str(exc.value)
+
+    def test_null_receiver_throws(self):
+        with pytest.raises(JavaThrow) as exc:
+            run('String s = null; s.length();')
+        assert "NullPointerException" in str(exc.value)
+
+    def test_interface_typed_variable(self):
+        assert run("""
+            Vector v = new Vector();
+            v.addElement("x");
+            Enumeration e = v.elements();
+            System.out.println(e.hasMoreElements());
+            System.out.println(e.nextElement());
+            System.out.println(e.hasMoreElements());
+        """) == ["true", "x", "false"]
+
+
+class TestArrays:
+    def test_default_values(self):
+        assert run("""
+            int[] xs = new int[2];
+            boolean[] bs = new boolean[1];
+            String[] ss = new String[1];
+            System.out.println(xs[0]);
+            System.out.println(bs[0]);
+            System.out.println(ss[0]);
+        """) == ["0", "false", "null"]
+
+    def test_initializer(self):
+        assert run("""
+            int[] xs = { 1, 2, 3 };
+            System.out.println(xs[0] + xs[1] + xs[2]);
+        """) == ["6"]
+
+    def test_2d_array(self):
+        assert run("""
+            int[][] grid = new int[2][3];
+            grid[1][2] = 9;
+            System.out.println(grid[1][2] + grid[0][0]);
+            System.out.println(grid.length + " " + grid[0].length);
+        """) == ["9", "2 3"]
+
+    def test_bounds_check(self):
+        with pytest.raises(JavaThrow) as exc:
+            run("int[] xs = new int[2]; int y = xs[5];")
+        assert "IndexOutOfBounds" in str(exc.value)
+
+    def test_array_length(self):
+        assert run("int[] xs = new int[7]; System.out.println(xs.length);") \
+            == ["7"]
+
+
+class TestExceptions:
+    def test_throw_propagates(self):
+        with pytest.raises(JavaThrow) as exc:
+            run('throw new RuntimeException("boom");')
+        assert "boom" in str(exc.value)
+
+    def test_exception_message(self):
+        with pytest.raises(JavaThrow) as exc:
+            run_main("""
+                class Demo {
+                    static void check(int x) {
+                        if (x < 0) throw new IllegalArgumentException("neg");
+                    }
+                    static void main() { check(-1); }
+                }
+            """)
+        assert exc.value.value.fields["message"] == "neg"
+
+
+class TestBuiltins:
+    def test_string_methods(self):
+        assert run("""
+            String s = "Hello";
+            System.out.println(s.length());
+            System.out.println(s.substring(1, 3));
+            System.out.println(s.toUpperCase());
+            System.out.println(s.charAt(1));
+            System.out.println(s.indexOf("llo"));
+        """) == ["5", "el", "HELLO", "e", "2"]
+
+    def test_string_equals(self):
+        assert run("""
+            String a = "x" + 1;
+            System.out.println(a.equals("x1"));
+        """) == ["true"]
+
+    def test_stringbuffer(self):
+        assert run("""
+            StringBuffer sb = new StringBuffer();
+            sb.append("a").append(1).append(true);
+            System.out.println(sb.toString());
+        """) == ["a1true"]
+
+    def test_hashtable(self):
+        assert run("""
+            Hashtable h = new Hashtable();
+            h.put("a", "1");
+            System.out.println(h.get("a"));
+            System.out.println(h.containsKey("b"));
+            System.out.println(h.size());
+            h.remove("a");
+            System.out.println(h.size());
+        """) == ["1", "false", "1", "0"]
+
+    def test_integer_boxing(self):
+        assert run("""
+            Integer i = new Integer(41);
+            System.out.println(i.intValue() + 1);
+            System.out.println(Integer.parseInt("10") + 1);
+            System.out.println(Integer.MAX_VALUE);
+        """) == ["42", "11", "2147483647"]
+
+    def test_math(self):
+        assert run("""
+            System.out.println(Math.abs(-3));
+            System.out.println(Math.max(2, 5));
+            System.out.println(Math.min(2, 5));
+        """) == ["3", "5", "2"]
+
+    def test_vector(self):
+        assert run("""
+            Vector v = new Vector();
+            v.addElement("a");
+            v.add("b");
+            System.out.println(v.size());
+            System.out.println(v.elementAt(1));
+            System.out.println(v.contains("a"));
+            System.out.println(v.isEmpty());
+        """) == ["2", "b", "true", "false"]
+
+
+class TestCounters:
+    def test_allocation_counter(self):
+        program = compile_source("""
+            class Demo {
+                static void main() {
+                    for (int i = 0; i < 5; i++) {
+                        java.util.Vector v = new java.util.Vector();
+                    }
+                }
+            }
+        """)
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        assert interp.counters.allocations == 5
+
+    def test_method_call_counter(self):
+        program = compile_source("""
+            class Demo {
+                static int f() { return 1; }
+                static void main() { f(); f(); f(); }
+            }
+        """)
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        # main + 3 calls to f
+        assert interp.counters.method_calls == 4

@@ -1,0 +1,229 @@
+"""Lazy parsing and lazy type checking (experiment E12): the paper's
+implementation technique 1."""
+
+import pytest
+
+from repro.ast import nodes as n
+from repro.dispatch import Mayan
+from repro.lexer import stream_lex
+from tests.conftest import compile_source, make_compiler, run_main
+
+
+class TestLazyParsing:
+    def test_bodies_not_parsed_until_needed(self):
+        """The stream lexer's trees let the compiler skip method bodies;
+        a body is only parsed when the class compiler forces it."""
+        from repro.core import CompileContext, CompileEnv
+        from repro.lalr import Parser
+
+        ctx = CompileContext(CompileEnv())
+        parser = Parser(ctx.env.tables(), ctx)
+        decl, _ = parser.parse(
+            "MemberDecl",
+            stream_lex("void f() { completely ~~ invalid @@ syntax }"),
+        )
+        # Parsing the declaration succeeded: the body is a thunk.
+        assert isinstance(decl.body, n.LazyNode)
+
+    def test_use_extends_grammar_for_later_statements(self):
+        """Syntax following an import parses with the extended grammar;
+        the same syntax before the import is an error."""
+        good = """
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    Vector v = new Vector();
+                    use maya.util.ForEach;
+                    v.elements().foreach(String s) { }
+                }
+            }
+        """
+        compile_source(good, macros=True)
+        bad = """
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    Vector v = new Vector();
+                    v.elements().foreach(String s) { }
+                    use maya.util.ForEach;
+                }
+            }
+        """
+        with pytest.raises(Exception):
+            compile_source(bad, macros=True)
+
+    def test_use_scoped_to_method(self):
+        """Imports are lexically scoped: a sibling method does not see
+        the extension."""
+        with pytest.raises(Exception):
+            compile_source("""
+                import java.util.*;
+                class Demo {
+                    static void a() {
+                        use maya.util.ForEach;
+                        Vector v = new Vector();
+                        v.elements().foreach(String s) { }
+                    }
+                    static void b() {
+                        Vector v = new Vector();
+                        v.elements().foreach(String s) { }
+                    }
+                }
+            """, macros=True)
+
+    def test_class_level_use(self):
+        """A use directive in a class body scopes over later members."""
+        lines = run_main("""
+            import java.util.*;
+            class Demo {
+                use maya.util.ForEach;
+                static void go(Vector v) {
+                    v.elements().foreach(String s) {
+                        System.out.println(s);
+                    }
+                }
+                static void main() {
+                    Vector v = new Vector();
+                    v.addElement("hi");
+                    go(v);
+                }
+            }
+        """, macros=True)
+        assert lines == ["hi"]
+
+    def test_top_level_use(self):
+        lines = run_main("""
+            import java.util.*;
+            use maya.util.ForEach;
+            class Demo {
+                static void main() {
+                    Vector v = new Vector();
+                    v.addElement("top");
+                    v.elements().foreach(String s) {
+                        System.out.println(s);
+                    }
+                }
+            }
+        """, macros=True)
+        assert lines == ["top"]
+
+
+class TestLazyTypeChecking:
+    def test_binding_created_by_mayan_visible_in_lazy_body(self):
+        """The central challenge of section 3: the foreach loop variable
+        is created by the expansion, yet the body (lazily parsed) sees
+        it — and sees it *typed*."""
+        lines = run_main("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    use maya.util.ForEach;
+                    Vector v = new Vector();
+                    v.addElement("word");
+                    v.elements().foreach(String s) {
+                        System.out.println(s.length());
+                    }
+                }
+            }
+        """, macros=True)
+        assert lines == ["4"]
+
+    def test_dispatch_types_computed_during_parsing(self):
+        """A Mayan's static-type specializer forces typing of an
+        expression while the enclosing statement is still being
+        parsed."""
+        observed = []
+
+        class Spy(Mayan):
+            result = "Statement"
+            pattern = "QName:java.util.Vector v \\. spy ( ) \\;"
+
+            def expand(self, ctx, v):
+                from repro.typecheck import static_type_of
+
+                observed.append(str(static_type_of(v)))
+                return n.EmptyStmt()
+
+        compiler = make_compiler()
+        spy = Spy()
+
+        class Provider:
+            use_name = "Spy"
+
+            def run(self, env):
+                spy.run(env)
+
+        compiler.provide("Spy", Provider())
+        compiler.compile("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    use Spy;
+                    Vector v = new Vector();
+                    v.spy();
+                }
+            }
+        """)
+        assert observed == ["java.util.Vector"]
+
+    def test_later_statements_see_earlier_bindings(self):
+        """Statement-at-a-time parsing threads the scope forward."""
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    int x = 40;
+                    int y = x + 2;
+                    System.out.println(y);
+                }
+            }
+        """)
+        assert lines == ["42"]
+
+    def test_forward_class_references_resolve(self):
+        """Lazy member compilation lets classes refer to later classes."""
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    System.out.println(new Later().value());
+                }
+            }
+            class Later { int value() { return 9; } }
+        """)
+        assert lines == ["9"]
+
+
+class TestFigureOneWorkflow:
+    def test_extension_compiled_then_used(self):
+        """Figure 1: compile an extension, provide it, compile an
+        application against it — with one compiler instance."""
+        from repro.ast.nodes import Literal
+        from repro.patterns import Template
+
+        class Unless(Mayan):
+            result = "Statement"
+            pattern = "unless (Expression cond) Statement body"
+            TEMPLATE = Template("Statement", "if (!($c)) $b",
+                                c="Expression", b="Statement")
+
+            def run(self, env):
+                env.add_production("Statement", "unless (Expression) Statement")
+                super().run(env)
+
+            def expand(self, ctx, cond, body):
+                return ctx.instantiate(self.TEMPLATE, c=cond, b=body)
+
+        compiler = make_compiler()
+        compiler.provide("ext.Unless", Unless())
+        program = compiler.compile("""
+            class Demo {
+                static void main() {
+                    use ext.Unless;
+                    unless (1 > 2) { System.out.println("ran"); }
+                }
+            }
+        """)
+        from repro.interp import Interpreter
+
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        assert interp.output == ["ran"]

@@ -1,0 +1,239 @@
+"""The rest of the macro library: assert, printf, collect, typedef."""
+
+import pytest
+
+from repro.interp import Interpreter, JavaThrow
+from repro.macros.printf import PrintfError
+from tests.conftest import compile_source, run_main
+
+
+class TestAssert:
+    def test_passing_assert(self):
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.Assert;
+                    assert(1 + 1 == 2);
+                    System.out.println("ok");
+                }
+            }
+        """, macros=True)
+        assert lines == ["ok"]
+
+    def test_failing_assert_throws_with_source_text(self):
+        with pytest.raises(JavaThrow) as exc:
+            run_main("""
+                class Demo {
+                    static void main() {
+                        use maya.util.Assert;
+                        int x = 1;
+                        assert(x > 5);
+                    }
+                }
+            """, macros=True)
+        assert "AssertionError" in str(exc.value)
+        assert "x > 5" in str(exc.value)
+
+    def test_assert_with_message(self):
+        with pytest.raises(JavaThrow) as exc:
+            run_main("""
+                class Demo {
+                    static void main() {
+                        use maya.util.Assert;
+                        assert(false, "custom message");
+                    }
+                }
+            """, macros=True)
+        assert "custom message" in str(exc.value)
+
+    def test_assert_not_reserved(self):
+        """Without the import, assert is an ordinary method name."""
+        lines = run_main("""
+            class Demo {
+                static void assert_(boolean b) { System.out.println(b); }
+                static void main() { assert_(true); }
+            }
+        """, macros=True)
+        assert lines == ["true"]
+
+
+class TestPrintf:
+    def test_expansion_and_output(self):
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.Printf;
+                    System.out.printf("%s has %d items\\n", "cart", 3);
+                }
+            }
+        """, macros=True)
+        assert lines == ["cart has 3 items"]
+
+    def test_static_type_checking_of_directives(self):
+        """%d with a String argument is a compile-time error."""
+        with pytest.raises(PrintfError):
+            compile_source("""
+                class Demo {
+                    static void main() {
+                        use maya.util.Printf;
+                        System.out.printf("%d\\n", "not a number");
+                    }
+                }
+            """, macros=True)
+
+    def test_argument_count_mismatch(self):
+        with pytest.raises(PrintfError):
+            compile_source("""
+                class Demo {
+                    static void main() {
+                        use maya.util.Printf;
+                        System.out.printf("%s %s\\n", "only one");
+                    }
+                }
+            """, macros=True)
+
+    def test_unused_arguments_rejected(self):
+        with pytest.raises(PrintfError):
+            compile_source("""
+                class Demo {
+                    static void main() {
+                        use maya.util.Printf;
+                        System.out.printf("none\\n", 1);
+                    }
+                }
+            """, macros=True)
+
+    def test_needs_literal_format(self):
+        with pytest.raises(PrintfError):
+            compile_source("""
+                class Demo {
+                    static void main() {
+                        use maya.util.Printf;
+                        String f = "%s";
+                        System.out.printf(f, 1);
+                    }
+                }
+            """, macros=True)
+
+    def test_percent_escape(self):
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.Printf;
+                    System.out.printf("100%%\\n");
+                }
+            }
+        """, macros=True)
+        assert lines == ["100%"]
+
+    def test_boolean_and_float_directives(self):
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.Printf;
+                    System.out.printf("%b %f\\n", true, 1.5);
+                }
+            }
+        """, macros=True)
+        assert lines == ["true 1.5"]
+
+
+class TestCollect:
+    def test_collect_layers_on_foreach(self):
+        lines = run_main("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    use maya.util.Collect;
+                    Vector names = new Vector();
+                    names.addElement("ann");
+                    names.addElement("bob");
+                    Vector upper = new Vector();
+                    collect(upper, s.toUpperCase() : String s : names.elements());
+                    System.out.println(upper.elementAt(0));
+                    System.out.println(upper.elementAt(1));
+                }
+            }
+        """, macros=True)
+        assert lines == ["ANN", "BOB"]
+
+    def test_collect_expansion_contains_foreach_output(self):
+        program = compile_source("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    use maya.util.Collect;
+                    Vector src = new Vector();
+                    Vector dst = new Vector();
+                    collect(dst, x : Object x : src.elements());
+                }
+            }
+        """, macros=True)
+        # The collect template generated foreach syntax, which the
+        # foreach Mayans expanded further: macro layering.
+        assert "hasMoreElements" in program.source()
+
+
+class TestTypedef:
+    def test_alias_substitution(self):
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.Typedef;
+                    typedef (Table = java.util.Hashtable) {
+                        Table t = new Table();
+                        t.put("k", "v");
+                        System.out.println(t.get("k"));
+                    }
+                }
+            }
+        """, macros=True)
+        assert lines == ["v"]
+
+    def test_alias_is_lexically_scoped(self):
+        """The alias must not leak past the typedef block."""
+        with pytest.raises(Exception):
+            compile_source("""
+                class Demo {
+                    static void main() {
+                        use maya.util.Typedef;
+                        typedef (Table = java.util.Hashtable) { }
+                        Table t;
+                    }
+                }
+            """, macros=True)
+
+    def test_other_names_resolve_normally(self):
+        """The local Subst Mayan uses nextRewrite for non-matches."""
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.Typedef;
+                    typedef (V = java.util.Vector) {
+                        V v = new V();
+                        String s = "still works";
+                        System.out.println(s);
+                    }
+                }
+            }
+        """, macros=True)
+        assert lines == ["still works"]
+
+    def test_nested_typedefs(self):
+        lines = run_main("""
+            class Demo {
+                static void main() {
+                    use maya.util.Typedef;
+                    typedef (A = java.util.Vector) {
+                        typedef (B = java.util.Hashtable) {
+                            A v = new A();
+                            B h = new B();
+                            v.addElement("1");
+                            h.put("2", "2");
+                            System.out.println(v.size() + h.size());
+                        }
+                    }
+                }
+            }
+        """, macros=True)
+        assert lines == ["2"]

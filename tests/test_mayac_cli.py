@@ -1,0 +1,93 @@
+"""The mayac command-line front end."""
+
+import pytest
+
+from repro.mayac import main
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.maya"
+    path.write_text("""
+        import java.util.*;
+        class Demo {
+            static void main() {
+                use maya.util.ForEach;
+                Vector v = new Vector();
+                v.addElement("cli");
+                v.elements().foreach(String s) {
+                    System.out.println(s);
+                }
+            }
+        }
+    """)
+    return str(path)
+
+
+class TestCli:
+    def test_compile_only(self, demo_file):
+        assert main([demo_file]) == 0
+
+    def test_expand_prints_source(self, demo_file, capsys):
+        assert main([demo_file, "--expand"]) == 0
+        out = capsys.readouterr().out
+        assert "hasMoreElements" in out
+
+    def test_run(self, demo_file, capsys):
+        assert main([demo_file, "--run", "Demo"]) == 0
+        assert "cli" in capsys.readouterr().out
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.maya"
+        bad.write_text("class Broken { int f() { return \"no\"; } }")
+        assert main([str(bad)]) == 1
+        assert "mayac:" in capsys.readouterr().err
+
+    def test_use_option(self, tmp_path, capsys):
+        source = tmp_path / "app.maya"
+        source.write_text("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    Vector v = new Vector();
+                    v.addElement("via --use");
+                    v.elements().foreach(String s) {
+                        System.out.println(s);
+                    }
+                }
+            }
+        """)
+        assert main([str(source), "--use", "maya.util.ForEach",
+                     "--run", "Demo"]) == 0
+        assert "via --use" in capsys.readouterr().out
+
+    def test_multiple_files_accumulate(self, tmp_path, capsys):
+        lib = tmp_path / "lib.maya"
+        lib.write_text("class Lib { static int seven() { return 7; } }")
+        app = tmp_path / "app.maya"
+        app.write_text("""
+            class App {
+                static void main() { System.out.println(Lib.seven()); }
+            }
+        """)
+        assert main([str(lib), str(app), "--run", "App"]) == 0
+        assert "7" in capsys.readouterr().out
+
+    def test_multijava_flag(self, tmp_path, capsys):
+        source = tmp_path / "mj.maya"
+        source.write_text("""
+            use multijava.MultiJava;
+            class C { }
+            class D extends C { }
+            class H {
+                String f(C c) { return "c"; }
+                String f(C@D c) { return "d"; }
+            }
+            class Demo {
+                static void main() {
+                    System.out.println(new H().f(new D()));
+                }
+            }
+        """)
+        assert main([str(source), "--multijava", "--run", "Demo"]) == 0
+        assert "d" in capsys.readouterr().out

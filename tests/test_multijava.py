@@ -1,0 +1,286 @@
+"""MultiJava (paper section 5, experiment E9)."""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.multijava import MultiJavaError
+from tests.conftest import compile_source, run_main
+
+
+class TestPaperExample:
+    """The exact translation shown in section 5.2."""
+
+    SOURCE = """
+        use multijava.MultiJava;
+        class C { }
+        class D extends C {
+            int m(C c) { return 0; }
+            int m(C@D c) { return 1; }
+        }
+        class Demo {
+            static void main() {
+                D d = new D();
+                System.out.println(d.m(new C()));
+                System.out.println(d.m(new D()));
+            }
+        }
+    """
+
+    def test_translation_shape(self):
+        program = compile_source(self.SOURCE, multijava=True)
+        source = program.source()
+        assert "private int m$impl1(C c)" in source
+        assert "private int m$impl2(D c)" in source
+        assert "instanceof D" in source
+        # The public dispatcher keeps the base signature.
+        assert "public int m(C " in source
+
+    def test_runtime_dispatch(self):
+        assert run_main(self.SOURCE, multijava=True) == ["0", "1"]
+
+    def test_static_type_does_not_matter(self):
+        """Dispatch is on the runtime class (unlike overloading)."""
+        lines = run_main("""
+            use multijava.MultiJava;
+            class C { }
+            class D extends C { }
+            class Host {
+                String which(C c) { return "C"; }
+                String which(C@D c) { return "D"; }
+            }
+            class Demo {
+                static void main() {
+                    Host h = new Host();
+                    C statically_c = new D();
+                    System.out.println(h.which(statically_c));
+                }
+            }
+        """, multijava=True)
+        assert lines == ["D"]
+
+
+class TestMultipleArguments:
+    def test_double_dispatch(self):
+        """The visitor-pattern killer: dispatch on two arguments."""
+        lines = run_main("""
+            use multijava.MultiJava;
+            class Shape { }
+            class Circle extends Shape { }
+            class Rect extends Shape { }
+            class Intersect {
+                String test(Shape a, Shape b) { return "generic"; }
+                String test(Shape@Circle a, Shape@Circle b) { return "c/c"; }
+                String test(Shape@Circle a, Shape@Rect b) { return "c/r"; }
+                String test(Shape@Rect a, Shape@Circle b) { return "r/c"; }
+            }
+            class Demo {
+                static void main() {
+                    Intersect i = new Intersect();
+                    Shape c = new Circle();
+                    Shape r = new Rect();
+                    System.out.println(i.test(c, c));
+                    System.out.println(i.test(c, r));
+                    System.out.println(i.test(r, c));
+                    System.out.println(i.test(r, r));
+                }
+            }
+        """, multijava=True)
+        assert lines == ["c/c", "c/r", "r/c", "generic"]
+
+    def test_deep_hierarchy_ordering(self):
+        """Subclass tests must come before superclass tests."""
+        lines = run_main("""
+            use multijava.MultiJava;
+            class A { }
+            class B extends A { }
+            class Cc extends B { }
+            class Host {
+                String f(A x) { return "A"; }
+                String f(A@B x) { return "B"; }
+                String f(A@Cc x) { return "Cc"; }
+            }
+            class Demo {
+                static void main() {
+                    Host h = new Host();
+                    System.out.println(h.f(new A()));
+                    System.out.println(h.f(new B()));
+                    System.out.println(h.f(new Cc()));
+                }
+            }
+        """, multijava=True)
+        assert lines == ["A", "B", "Cc"]
+
+
+class TestSuperSends:
+    def test_super_selects_next_applicable(self):
+        """Paper 5.1: super in a multimethod calls the next applicable
+        method of the same generic function."""
+        lines = run_main("""
+            use multijava.MultiJava;
+            class C { }
+            class D extends C { }
+            class Host {
+                String m(C c) { return "base"; }
+                String m(C@D c) { return "special+" + super.m(c); }
+            }
+            class Demo {
+                static void main() {
+                    Host h = new Host();
+                    System.out.println(h.m(new D()));
+                }
+            }
+        """, multijava=True)
+        assert lines == ["special+base"]
+
+
+class TestOpenClasses:
+    def test_external_methods(self):
+        lines = run_main("""
+            use multijava.MultiJava;
+            class Shape { }
+            class Circle extends Shape { int r; Circle(int r) { this.r = r; } }
+
+            int Shape.area() { return 0; }
+            int Circle.area() { return 3 * this.r * this.r; }
+
+            class Demo {
+                static void main() {
+                    Shape s = new Circle(2);
+                    System.out.println(s.area());
+                    System.out.println(new Shape().area());
+                }
+            }
+        """, multijava=True)
+        assert lines == ["12", "0"]
+
+    def test_external_method_on_builtin_class(self):
+        """Open classes can extend classes from earlier compilations
+        (here: a built-in library class)."""
+        lines = run_main("""
+            use multijava.MultiJava;
+            int java.util.Vector.doubledSize() { return this.size() * 2; }
+            class Demo {
+                static void main() {
+                    java.util.Vector v = new java.util.Vector();
+                    v.addElement("x");
+                    System.out.println(v.doubledSize());
+                }
+            }
+        """, multijava=True)
+        assert lines == ["2"]
+
+    def test_external_multimethods(self):
+        lines = run_main("""
+            use multijava.MultiJava;
+            class Node { }
+            class Leaf extends Node { }
+
+            String Node.show(Node other) { return "n/n"; }
+            String Node.show(Node@Leaf other) { return "n/l"; }
+
+            class Demo {
+                static void main() {
+                    Node n = new Node();
+                    System.out.println(n.show(new Node()));
+                    System.out.println(n.show(new Leaf()));
+                }
+            }
+        """, multijava=True)
+        assert lines == ["n/n", "n/l"]
+
+    def test_this_bound_in_external_method(self):
+        lines = run_main("""
+            use multijava.MultiJava;
+            class Box { int v; Box(int v) { this.v = v; } }
+            int Box.twice() { return this.v * 2; }
+            class Demo {
+                static void main() {
+                    System.out.println(new Box(21).twice());
+                }
+            }
+        """, multijava=True)
+        assert lines == ["42"]
+
+
+class TestStaticChecks:
+    def test_specializer_must_be_subclass(self):
+        with pytest.raises(MultiJavaError):
+            compile_source("""
+                use multijava.MultiJava;
+                class C { }
+                class Unrelated { }
+                class Host {
+                    int m(C c) { return 0; }
+                    int m(C@Unrelated c) { return 1; }
+                }
+            """, multijava=True)
+
+    def test_completeness_required(self):
+        """A generic function must cover its declared argument types."""
+        with pytest.raises(MultiJavaError):
+            compile_source("""
+                use multijava.MultiJava;
+                class C { }
+                class D extends C { }
+                class Host {
+                    int m(C@D c) { return 1; }
+                }
+            """, multijava=True)
+
+    def test_ambiguous_multimethods_rejected(self):
+        with pytest.raises(MultiJavaError):
+            compile_source("""
+                use multijava.MultiJava;
+                class C { }
+                class D extends C { }
+                class Host {
+                    int m(C a, C b) { return 0; }
+                    int m(C@D a, C b) { return 1; }
+                    int m(C a, C@D b) { return 2; }
+                }
+            """, multijava=True)
+
+    def test_duplicate_multimethods_rejected(self):
+        with pytest.raises(MultiJavaError):
+            compile_source("""
+                use multijava.MultiJava;
+                class C { }
+                class D extends C { }
+                class Host {
+                    int m(C@D c) { return 1; }
+                    int m(C@D c) { return 2; }
+                    int m(C c) { return 0; }
+                }
+            """, multijava=True)
+
+    def test_primitive_specializer_rejected(self):
+        with pytest.raises(Exception):
+            compile_source("""
+                use multijava.MultiJava;
+                class Host {
+                    int m(int x) { return 0; }
+                    int m(int@long x) { return 1; }
+                }
+            """, multijava=True)
+
+
+class TestLexicalScoping:
+    def test_multijava_syntax_needs_use(self):
+        """Without the import, @ in formals is a syntax error."""
+        with pytest.raises(Exception):
+            compile_source("""
+                class C { }
+                class D extends C {
+                    int m(C@D c) { return 1; }
+                }
+            """, multijava=True)
+
+    def test_plain_methods_untouched(self):
+        """Classes without specializers compile exactly as before."""
+        program = compile_source("""
+            use multijava.MultiJava;
+            class Plain {
+                int f(int x) { return x + 1; }
+            }
+        """, multijava=True)
+        assert "$impl" not in program.source()

@@ -1,0 +1,137 @@
+"""JLS-style ambiguous-name resolution (the QName reclassification)."""
+
+import pytest
+
+from repro.typecheck import CheckError
+from tests.conftest import compile_source, run_main
+
+
+class TestNameForms:
+    def test_local_then_fields(self):
+        assert run_main("""
+            class Inner { int depth = 3; }
+            class Outer { Inner inner = new Inner(); }
+            class Demo {
+                static void main() {
+                    Outer o = new Outer();
+                    System.out.println(o.inner.depth);
+                }
+            }
+        """) == ["3"]
+
+    def test_implicit_this_field(self):
+        assert run_main("""
+            class Demo {
+                int size = 10;
+                int grow() { return size + 1; }
+                static void main() {
+                    System.out.println(new Demo().grow());
+                }
+            }
+        """) == ["11"]
+
+    def test_static_field_through_class_name(self):
+        assert run_main("""
+            class Config { static int LIMIT = 99; }
+            class Demo {
+                static void main() { System.out.println(Config.LIMIT); }
+            }
+        """) == ["99"]
+
+    def test_fully_qualified_static_chain(self):
+        # java.lang.System.out: package prefix + class + static field.
+        assert run_main("""
+            class Demo {
+                static void main() {
+                    java.lang.System.out.println("qualified");
+                }
+            }
+        """) == ["qualified"]
+
+    def test_local_shadows_class_name(self):
+        """A local variable named like a class wins (JLS 6.5)."""
+        assert run_main("""
+            class Config { static int LIMIT = 99; }
+            class Demo {
+                static int helper(int Config) { return Config * 2; }
+                static void main() {
+                    System.out.println(helper(4));
+                }
+            }
+        """) == ["8"]
+
+    def test_field_shadowed_by_local(self):
+        assert run_main("""
+            class Demo {
+                static String who = "field";
+                static void main() {
+                    String who = "local";
+                    System.out.println(who);
+                }
+            }
+        """) == ["local"]
+
+    def test_assignment_through_field_chain(self):
+        assert run_main("""
+            class Holder { int value; }
+            class Demo {
+                static void main() {
+                    Holder h = new Holder();
+                    h.value = 5;
+                    h.value += 2;
+                    System.out.println(h.value);
+                }
+            }
+        """) == ["7"]
+
+    def test_static_field_assignment_via_class(self):
+        assert run_main("""
+            class Counter { static int n; }
+            class Demo {
+                static void main() {
+                    Counter.n = 4;
+                    Counter.n++;
+                    System.out.println(Counter.n);
+                }
+            }
+        """) == ["5"]
+
+    def test_class_used_as_value_is_error(self):
+        with pytest.raises(CheckError):
+            compile_source("""
+                class Config { }
+                class Demo {
+                    static void main() { Object o = Config; }
+                }
+            """)
+
+    def test_instance_method_via_static_context_error(self):
+        with pytest.raises(CheckError):
+            compile_source("""
+                class Demo {
+                    int inst() { return 1; }
+                    static void main() { Demo.inst(); }
+                }
+            """)
+
+    def test_inherited_field_through_chain(self):
+        assert run_main("""
+            class Base { int shared = 7; }
+            class Sub extends Base { }
+            class Demo {
+                static void main() {
+                    Sub s = new Sub();
+                    System.out.println(s.shared);
+                }
+            }
+        """) == ["7"]
+
+    def test_scope_per_block(self):
+        assert run_main("""
+            class Demo {
+                static void main() {
+                    { int x = 1; System.out.println(x); }
+                    { int x = 2; System.out.println(x); }
+                }
+            }
+        """) == ["1", "2"]

@@ -1,0 +1,368 @@
+"""Parsing the base Java subset: expressions, statements, declarations."""
+
+import pytest
+
+from repro.ast import nodes as n
+from repro.core import CompileContext, CompileEnv
+from repro.lalr import ParseError, Parser
+from repro.lexer import stream_lex
+
+
+def parse(start: str, source: str):
+    ctx = CompileContext(CompileEnv())
+    parser = Parser(ctx.env.tables(), ctx)
+    value, _ = parser.parse(start, stream_lex(source))
+    return value
+
+
+def parse_expr(source: str) -> n.Expression:
+    return parse("Expression", source)
+
+
+def parse_stmt(source: str) -> n.Statement:
+    return parse("Statement", source)
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        expr = parse_expr("42")
+        assert isinstance(expr, n.Literal) and expr.value == 42
+
+    def test_string_literal(self):
+        expr = parse_expr('"hi"')
+        assert expr.kind == "String" and expr.value == "hi"
+
+    def test_null_true_false(self):
+        assert parse_expr("null").kind == "null"
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_name(self):
+        expr = parse_expr("a.b.c")
+        assert isinstance(expr, n.NameExpr) and expr.parts == ("a", "b", "c")
+
+    def test_binary_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, n.BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.right, n.BinaryExpr) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("1 - 2 - 3")
+        assert expr.op == "-" and isinstance(expr.left, n.BinaryExpr)
+
+    def test_logical_operators(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+
+    def test_relational(self):
+        expr = parse_expr("a < b == c > d")
+        assert expr.op == "=="
+
+    def test_shift(self):
+        assert parse_expr("a << 2").op == "<<"
+        assert parse_expr("a >>> 2").op == ">>>"
+
+    def test_conditional(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr, n.ConditionalExpr)
+        assert isinstance(expr.else_expr, n.ConditionalExpr)
+
+    def test_assignment_right_assoc(self):
+        expr = parse_expr("a = b = c")
+        assert isinstance(expr, n.Assignment)
+        assert isinstance(expr.value, n.Assignment)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("a += 1")
+        assert expr.op == "+="
+
+    def test_unary(self):
+        assert parse_expr("-a").op == "-"
+        assert parse_expr("!a").op == "!"
+        assert parse_expr("~a").op == "~"
+        assert parse_expr("++a").op == "++"
+
+    def test_postfix(self):
+        expr = parse_expr("a++")
+        assert isinstance(expr, n.PostfixExpr) and expr.op == "++"
+
+    def test_paren_expression(self):
+        expr = parse_expr("(a + b)")
+        assert isinstance(expr, n.ParenExpr)
+
+    def test_primitive_cast(self):
+        expr = parse_expr("(int) x")
+        assert isinstance(expr, n.CastExpr)
+        assert expr.type_name.base == ("int",)
+
+    def test_primitive_cast_of_negation(self):
+        expr = parse_expr("(int) - x")
+        assert isinstance(expr, n.CastExpr)
+        assert isinstance(expr.expr, n.UnaryExpr)
+
+    def test_reference_cast(self):
+        expr = parse_expr("(Foo) x")
+        assert isinstance(expr, n.CastExpr)
+        assert expr.type_name.base == ("Foo",)
+
+    def test_paren_minus_is_subtraction(self):
+        # (x) - y must parse as subtraction, not a cast (JLS-style
+        # UnaryNotPlusMinus restriction).
+        expr = parse_expr("(x) - y")
+        assert isinstance(expr, n.BinaryExpr) and expr.op == "-"
+
+    def test_cast_of_parenthesized(self):
+        expr = parse_expr("(Foo)(x)")
+        assert isinstance(expr, n.CastExpr)
+
+    def test_array_cast(self):
+        expr = parse_expr("(java.lang.Object[]) x")
+        assert isinstance(expr, n.CastExpr)
+        assert expr.type_name.dims == 1
+
+    def test_method_call_unqualified(self):
+        expr = parse_expr("f(1, 2)")
+        assert isinstance(expr, n.MethodInvocation)
+        assert expr.method.parts == ("f",)
+        assert len(expr.args) == 2
+
+    def test_method_call_empty_args(self):
+        expr = parse_expr("f()")
+        assert isinstance(expr, n.MethodInvocation) and expr.args == []
+
+    def test_method_call_dotted(self):
+        expr = parse_expr("System.out.println(x)")
+        assert expr.method.receiver is None
+        assert expr.method.parts == ("System", "out", "println")
+
+    def test_method_call_on_expression(self):
+        expr = parse_expr("f().g()")
+        assert isinstance(expr.method.receiver, n.MethodInvocation)
+        assert expr.method.parts == ("g",)
+
+    def test_field_access_on_call(self):
+        expr = parse_expr("f().length")
+        assert isinstance(expr, n.FieldAccess) and expr.name == "length"
+
+    def test_array_access(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, n.ArrayAccess)
+        assert isinstance(expr.index, n.BinaryExpr)
+
+    def test_chained_array_access(self):
+        expr = parse_expr("a[i][j]")
+        assert isinstance(expr.array, n.ArrayAccess)
+
+    def test_new_object(self):
+        expr = parse_expr("new java.util.Vector(10)")
+        assert isinstance(expr, n.NewObject)
+        assert expr.type_name.base == ("java", "util", "Vector")
+
+    def test_new_array(self):
+        expr = parse_expr("new int[3]")
+        assert isinstance(expr, n.NewArray)
+        assert len(expr.dim_exprs) == 1
+
+    def test_new_2d_array(self):
+        expr = parse_expr("new int[2][3]")
+        assert len(expr.dim_exprs) == 2
+
+    def test_new_array_extra_dims(self):
+        expr = parse_expr("new int[2][]")
+        assert len(expr.dim_exprs) == 1 and expr.extra_dims == 1
+
+    def test_new_array_with_initializer(self):
+        expr = parse_expr("new int[] { 1, 2, 3 }")
+        assert expr.initializer is not None
+        assert len(expr.initializer.elements) == 3
+
+    def test_instanceof(self):
+        expr = parse_expr("x instanceof java.lang.String")
+        assert isinstance(expr, n.InstanceofExpr)
+
+    def test_this(self):
+        assert isinstance(parse_expr("this"), n.ThisExpr)
+
+    def test_this_field(self):
+        expr = parse_expr("this.count")
+        assert isinstance(expr, n.FieldAccess)
+        assert isinstance(expr.receiver, n.ThisExpr)
+
+    def test_super_method(self):
+        expr = parse_expr("super.size()")
+        assert isinstance(expr.method.receiver, n.SuperExpr)
+
+    def test_string_concat_chain(self):
+        expr = parse_expr('"a" + b + "c"')
+        assert expr.op == "+"
+
+
+class TestStatements:
+    def test_expression_statement(self):
+        stmt = parse_stmt("f();")
+        assert isinstance(stmt, n.ExprStmt)
+
+    def test_empty_statement(self):
+        assert isinstance(parse_stmt(";"), n.EmptyStmt)
+
+    def test_local_declaration(self):
+        stmt = parse_stmt("int x = 1, y;")
+        assert isinstance(stmt, n.LocalVarDecl)
+        assert len(stmt.declarators) == 2
+
+    def test_final_local(self):
+        stmt = parse_stmt("final int x = 1;")
+        assert stmt.modifiers == ["final"]
+
+    def test_qualified_type_declaration(self):
+        stmt = parse_stmt("java.util.Vector v;")
+        assert isinstance(stmt, n.LocalVarDecl)
+        assert stmt.type_name.base == ("java", "util", "Vector")
+
+    def test_array_declaration(self):
+        stmt = parse_stmt("int[] xs;")
+        assert stmt.type_name.dims == 1
+
+    def test_trailing_dims_declarator(self):
+        stmt = parse_stmt("int xs[];")
+        assert stmt.declarators[0].dims == 1
+
+    def test_if(self):
+        stmt = parse_stmt("if (a) f();")
+        assert isinstance(stmt, n.IfStmt) and stmt.else_stmt is None
+
+    def test_if_else(self):
+        stmt = parse_stmt("if (a) f(); else g();")
+        assert stmt.else_stmt is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (a) if (b) f(); else g();")
+        assert stmt.else_stmt is None
+        assert stmt.then_stmt.else_stmt is not None
+
+    def test_while(self):
+        assert isinstance(parse_stmt("while (a) f();"), n.WhileStmt)
+
+    def test_do_while(self):
+        assert isinstance(parse_stmt("do f(); while (a);"), n.DoStmt)
+
+    def test_for_full(self):
+        stmt = parse_stmt("for (int i = 0; i < n; i++) f(i);")
+        assert isinstance(stmt, n.ForStmt)
+        assert isinstance(stmt.init, n.LocalVarDecl)
+        assert len(stmt.update) == 1
+
+    def test_for_empty_header(self):
+        stmt = parse_stmt("for (;;) f();")
+        assert stmt.init is None and stmt.cond is None and stmt.update == []
+
+    def test_for_expression_init(self):
+        stmt = parse_stmt("for (i = 0, j = 1; ; i++, j--) f();")
+        assert len(stmt.init) == 2 and len(stmt.update) == 2
+
+    def test_return(self):
+        assert parse_stmt("return;").expr is None
+        assert parse_stmt("return 1;").expr is not None
+
+    def test_throw(self):
+        assert isinstance(parse_stmt("throw e;"), n.ThrowStmt)
+
+    def test_break_continue(self):
+        assert isinstance(parse_stmt("break;"), n.BreakStmt)
+        assert isinstance(parse_stmt("continue;"), n.ContinueStmt)
+
+    def test_block(self):
+        stmt = parse_stmt("{ f(); g(); }")
+        assert isinstance(stmt, n.Block)
+        assert len(stmt.body.stmts) == 2
+
+    def test_nested_blocks(self):
+        stmt = parse_stmt("{ { f(); } }")
+        assert isinstance(stmt.body.stmts[0], n.Block)
+
+    def test_assignment_statement(self):
+        stmt = parse_stmt("a.b.c = 5;")
+        assert isinstance(stmt.expr, n.Assignment)
+
+    def test_array_assignment_statement(self):
+        stmt = parse_stmt("a[i] = 5;")
+        assert isinstance(stmt.expr.lhs, n.ArrayAccess)
+
+    def test_syntax_error_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_stmt("int = 5;")
+        assert exc.value.location.line == 1
+
+
+class TestDeclarations:
+    def test_class_declaration(self):
+        decl = parse("TypeDeclaration", "class Foo { }")
+        assert isinstance(decl, n.ClassDecl) and decl.name.name == "Foo"
+
+    def test_class_with_extends_implements(self):
+        decl = parse("TypeDeclaration",
+                     "class Foo extends Bar implements A, B { }")
+        assert decl.superclass.base == ("Bar",)
+        assert len(decl.interfaces) == 2
+
+    def test_interface_declaration(self):
+        decl = parse("TypeDeclaration", "interface I extends J { void m(); }")
+        assert isinstance(decl, n.InterfaceDecl)
+        assert decl.members[0].body is None
+
+    def test_field_member(self):
+        decl = parse("MemberDecl", "private static int count = 0;")
+        assert isinstance(decl, n.FieldDecl)
+        assert decl.modifiers == ["private", "static"]
+
+    def test_method_member(self):
+        decl = parse("MemberDecl", "public int f(int a, String b) { return a; }")
+        assert isinstance(decl, n.MethodDecl)
+        assert len(decl.formals) == 2
+        assert isinstance(decl.body, n.LazyNode)
+
+    def test_void_method(self):
+        decl = parse("MemberDecl", "void f() { }")
+        assert decl.return_type.base == ("void",)
+
+    def test_abstract_method(self):
+        decl = parse("MemberDecl", "abstract int f();")
+        assert decl.body is None
+
+    def test_constructor_member(self):
+        decl = parse("MemberDecl", "Foo(int x) { }")
+        assert isinstance(decl, n.ConstructorDecl)
+
+    def test_method_with_throws(self):
+        decl = parse("MemberDecl", "void f() throws A, B { }")
+        assert len(decl.throws) == 2
+
+    def test_formal_with_trailing_dims(self):
+        decl = parse("MemberDecl", "void f(String args[]) { }")
+        assert decl.formals[0].type_name.dims == 1
+
+    def test_package_and_imports(self):
+        decl = parse("Declaration", "package a.b;")
+        assert isinstance(decl, n.PackageDecl)
+        decl = parse("Declaration", "import java.util.Vector;")
+        assert isinstance(decl, n.ImportDecl) and not decl.on_demand
+        decl = parse("Declaration", "import java.util.*;")
+        assert decl.on_demand
+
+
+class TestLaziness:
+    def test_method_bodies_are_lazy(self):
+        decl = parse("MemberDecl", "void f() { this is not even java !!! }")
+        assert isinstance(decl.body, n.LazyNode)
+        assert not decl.body.is_forced()
+
+    def test_forcing_bad_body_fails(self):
+        decl = parse("MemberDecl", "void f() { syntax error here }")
+        with pytest.raises(Exception):
+            decl.body.force()
+
+    def test_node_syntax_recorded(self):
+        expr = parse_expr("f(x)")
+        production, children = expr.syntax
+        assert production.lhs.name == "MethodInvocation"
+        assert isinstance(children[0], n.MethodName)

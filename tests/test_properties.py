@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.grammar import Assoc, Grammar, Symbol, nonterminal, terminal
+from repro.hygiene import make_id
+from repro.lalr import Parser, ParserContext, build_tables
+from repro.lexer import scan, stream_lex
+from repro.lexer.tokens import flatten
+from tests.conftest import run_main
+
+# ---------------------------------------------------------------------------
+# Lexer properties
+# ---------------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True) \
+    .filter(lambda s: s not in {
+        "abstract", "boolean", "break", "byte", "case", "catch", "char",
+        "class", "const", "continue", "default", "do", "double", "else",
+        "extends", "final", "finally", "float", "for", "goto", "if",
+        "implements", "import", "instanceof", "int", "interface", "long",
+        "native", "new", "package", "private", "protected", "public",
+        "return", "short", "static", "strictfp", "super", "switch",
+        "synchronized", "this", "throw", "throws", "transient", "try",
+        "void", "volatile", "while", "null", "true", "false", "use",
+        "syntax",
+    })
+
+simple_tokens = st.one_of(
+    identifiers,
+    st.integers(min_value=0, max_value=10**9).map(str),
+    st.sampled_from(["+", "-", "*", "/", "==", "<=", ";", ",", ".", "="]),
+)
+
+
+@given(st.lists(simple_tokens, min_size=0, max_size=30))
+def test_scan_token_count_stable(words):
+    source = " ".join(words)
+    rescanned = scan(" ".join(t.text for t in scan(source)))
+    assert [t.kind for t in rescanned] == [t.kind for t in scan(source)]
+
+
+@given(st.lists(simple_tokens, min_size=0, max_size=20),
+       st.sampled_from(["()", "{}", "[]"]))
+def test_stream_lex_flatten_roundtrip(words, delims):
+    source = delims[0] + " ".join(words) + delims[1]
+    tree = stream_lex(source)
+    assert [t.text for t in flatten(tree)] == [t.text for t in scan(source)]
+
+
+@given(st.lists(identifiers, min_size=1, max_size=10))
+def test_symbol_interning(names):
+    for name in names:
+        symbol_name = "PropSym_" + name
+        assert terminal(symbol_name) is terminal(symbol_name)
+
+
+# ---------------------------------------------------------------------------
+# Fresh names
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(identifiers, min_size=1, max_size=50))
+def test_fresh_names_never_collide(bases):
+    generated = [make_id(base).name for base in bases]
+    assert len(set(generated)) == len(generated)
+    for base, name in zip(bases, generated):
+        assert name.startswith(base + "$")
+
+
+# ---------------------------------------------------------------------------
+# LALR arithmetic vs Python (oracle test)
+# ---------------------------------------------------------------------------
+
+
+def _arith_grammar():
+    g = Grammar("prop-arith")
+    E = nonterminal("PropE")
+    g.precedence.declare(Assoc.LEFT, "+", "-")
+    g.precedence.declare(Assoc.LEFT, "*")
+    g.add_production(E, ["IntLit"], tag="prop_lit", internal=True,
+                     action=lambda ctx, v: v[0].value)
+    g.add_production(E, [E, "+", E], tag="prop_add", internal=True,
+                     action=lambda ctx, v: v[0] + v[2])
+    g.add_production(E, [E, "-", E], tag="prop_sub", internal=True,
+                     action=lambda ctx, v: v[0] - v[2])
+    g.add_production(E, [E, "*", E], tag="prop_mul", internal=True,
+                     action=lambda ctx, v: v[0] * v[2])
+    g.add_production(E, ["(", E, ")"], tag="prop_paren", internal=True,
+                     action=lambda ctx, v: v[1])
+    g.declare_start(E)
+    return build_tables(g)
+
+
+_ARITH_TABLES = None
+
+
+@st.composite
+def arith_exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return str(draw(st.integers(min_value=0, max_value=100)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(arith_exprs(depth=depth + 1))
+    right = draw(arith_exprs(depth=depth + 1))
+    if draw(st.booleans()):
+        return f"({left} {op} {right})"
+    return f"{left} {op} {right}"
+
+
+@given(arith_exprs())
+@settings(max_examples=60)
+def test_lalr_arithmetic_matches_python(source):
+    global _ARITH_TABLES
+    if _ARITH_TABLES is None:
+        _ARITH_TABLES = _arith_grammar()
+    parser = Parser(_ARITH_TABLES, ParserContext())
+    value, _ = parser.parse("PropE", scan(source))
+    assert value == eval(source)
+
+
+# ---------------------------------------------------------------------------
+# Interpreter arithmetic vs Java semantics (oracle: computed expectations)
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=-1000, max_value=1000),
+       st.integers(min_value=-1000, max_value=1000).filter(lambda x: x != 0))
+@settings(max_examples=25, deadline=None)
+def test_java_division_semantics(a, b):
+    lines = run_main(f"""
+        class Demo {{
+            static void main() {{
+                System.out.println({a} / {b});
+                System.out.println({a} % {b});
+            }}
+        }}
+    """)
+    quotient = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        quotient = -quotient
+    remainder = a - quotient * b
+    assert lines == [str(quotient), str(remainder)]
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100),
+                min_size=1, max_size=8))
+@settings(max_examples=15, deadline=None)
+def test_array_sum_matches_python(values):
+    inits = ", ".join(str(v) for v in values)
+    lines = run_main(f"""
+        class Demo {{
+            static void main() {{
+                int[] xs = {{ {inits} }};
+                int total = 0;
+                for (int i = 0; i < xs.length; i++) total += xs[i];
+                System.out.println(total);
+            }}
+        }}
+    """)
+    assert lines == [str(sum(values))]
+
+
+# ---------------------------------------------------------------------------
+# Hygiene property: user variable names never captured by foreach
+# ---------------------------------------------------------------------------
+
+
+@given(identifiers.filter(
+    lambda s: "$" not in s and s not in ("foreach", "item", "v")))
+@settings(max_examples=10, deadline=None)
+def test_foreach_never_captures(name):
+    lines = run_main(f"""
+        import java.util.*;
+        class Demo {{
+            static void main() {{
+                use maya.util.ForEach;
+                String {name} = "outer";
+                Vector v = new Vector();
+                v.addElement("inner");
+                v.elements().foreach(String item) {{
+                    System.out.println({name});
+                }}
+            }}
+        }}
+    """, macros=True)
+    assert lines == ["outer"]

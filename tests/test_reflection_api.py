@@ -1,0 +1,162 @@
+"""The reflection-style APIs Mayans use (paper 3.2): Type objects,
+DeclStmt.make, Reference.makeExpr, StrictTypeName.make, intercession."""
+
+import pytest
+
+from repro.ast import nodes as n
+from repro.core import CompileContext, CompileEnv
+from repro.lalr import Parser
+from repro.lexer import stream_lex
+from repro.typecheck import Scope, static_type_of
+from repro.types import INT, array_of
+
+
+@pytest.fixture
+def ctx():
+    return CompileContext(CompileEnv())
+
+
+def parse(ctx, start, source):
+    parser = Parser(ctx.env.tables(), ctx)
+    value, _ = parser.parse(start, stream_lex(source))
+    return value
+
+
+class TestFormalReflection:
+    def test_get_type(self, ctx):
+        formal = parse(ctx, "Formal", "java.util.Vector v")
+        formal.scope = ctx.scope
+        assert formal.get_type().name == "java.util.Vector"
+
+    def test_get_type_with_dims(self, ctx):
+        formal = parse(ctx, "Formal", "int[] xs")
+        formal.scope = ctx.scope
+        assert formal.get_type() is array_of(INT)
+
+    def test_get_name_and_location(self, ctx):
+        formal = parse(ctx, "Formal", "String st")
+        assert formal.name.get_name() == "st"
+        assert formal.get_location().line == 1
+
+
+class TestDeclStmtMake:
+    """Paper figure 2 line 12: DeclStmt.make(var) turns a formal into a
+    statement-context declaration."""
+
+    def test_make_from_formal(self, ctx):
+        formal = parse(ctx, "Formal", "String st")
+        decl = n.DeclStmt.make(formal)
+        assert isinstance(decl, n.LocalVarDecl)
+        assert decl.declarators[0].name.name == "st"
+        assert decl.declarators[0].init is None
+
+    def test_alias_identity(self):
+        assert n.DeclStmt is n.LocalVarDecl
+
+
+class TestReferenceMakeExpr:
+    """Paper figure 2 line 13: a direct variable reference that name
+    lookup (and shadowing) cannot affect."""
+
+    def test_make_expr(self, ctx):
+        formal = parse(ctx, "Formal", "String st")
+        ref = n.Reference.make_expr(formal)
+        assert isinstance(ref, n.Reference)
+        # paper-style alias
+        assert n.Reference.makeExpr(formal).binding is formal
+
+    def test_reference_types_via_formal(self, ctx):
+        formal = parse(ctx, "Formal", "int count")
+        formal.scope = ctx.scope
+        ref = n.Reference.make_expr(formal)
+        ref.scope = ctx.scope
+        assert static_type_of(ref) is INT
+
+
+class TestStrictTypeName:
+    def test_make_from_class(self, ctx):
+        vector = ctx.env.registry.require("java.util.Vector")
+        strict = n.StrictTypeName.make(vector)
+        assert strict.type is vector
+        assert str(strict) == "java.util.Vector"
+
+    def test_make_from_array(self, ctx):
+        strict = n.StrictTypeName.make(array_of(INT, 2))
+        assert strict.dims == 2
+
+    def test_resolves_without_imports(self, ctx):
+        from repro.typecheck import resolve_type_name
+
+        vector = ctx.env.registry.require("java.util.Vector")
+        strict = n.StrictTypeName.make(vector)
+        # No scope/imports needed: the type is embedded.
+        assert resolve_type_name(strict, None) is vector
+
+
+class TestIntercession:
+    """The 'limited form of intercession that allows member
+    declarations to be added to a class body'."""
+
+    def test_add_method_visible_to_checker(self, ctx):
+        from repro import run_program
+        from tests.conftest import make_compiler
+
+        compiler = make_compiler()
+        program = compiler.compile("class Host { }")
+        host = program.env.registry.require("Host")
+        host.declare_method("added", [], INT,
+                            impl=lambda interp, obj, args: 41)
+        program = compiler.compile("""
+            class Demo {
+                static int go() { return new Host().added() + 1; }
+            }
+        """)
+        assert run_program(program, "Demo", "go") == 42
+
+    def test_remove_method(self, ctx):
+        registry = ctx.env.registry
+        klass = registry.declare("test.Removable")
+        method = klass.declare_method("gone", [], INT)
+        klass.remove_method(method)
+        from repro.types import TypeError_
+
+        with pytest.raises(TypeError_):
+            klass.find_method("gone", [])
+
+
+class TestGetStaticTypePaperStyle:
+    def test_expression_get_static_type(self, ctx):
+        ctx.scope.define("v", ctx.env.registry.require("java.util.Vector"))
+        expr = parse(ctx, "Expression", "v.size()")
+        # The paper's Expression.getStaticType() takes no arguments.
+        assert expr.get_static_type() is INT
+
+
+class TestClassSpecDispatch:
+    """TypeName parameters with ':' specializers use ClassSpec
+    (exact-class match on the denoted type)."""
+
+    def test_class_spec_matching(self):
+        from repro.dispatch import Mayan
+        from tests.conftest import run_main
+
+        class OnlyVectorDecl(Mayan):
+            result = "Statement"
+            pattern = ("TypeName:java.util.Vector t VarDeclarator d \\;")
+
+            def expand(self, ctx, t, d):
+                # Tag vector declarations by adding a println after.
+                return ctx.next_rewrite()
+
+        # Compiles and matches without error.
+        from repro.core import CompileContext, CompileEnv
+        from repro.lalr import Parser
+        from repro.lexer import stream_lex
+
+        env = CompileEnv()
+        OnlyVectorDecl().run(env)
+        context = CompileContext(env)
+        parser = Parser(env.tables(), context)
+        stmt, _ = parser.parse("Statement",
+                               stream_lex("java.util.Vector v;"))
+        assert isinstance(stmt, n.LocalVarDecl)

@@ -1,0 +1,78 @@
+"""``syntax case`` (paper 3.2): pattern matching outside dispatch."""
+
+import pytest
+
+from repro.ast import nodes as n
+from repro.core import CompileContext, CompileEnv
+from repro.lalr import Parser
+from repro.lexer import stream_lex
+from repro.patterns import TemplateError, syntax_case
+
+
+@pytest.fixture
+def ctx():
+    return CompileContext(CompileEnv())
+
+
+def parse_expr(ctx, source):
+    parser = Parser(ctx.env.tables(), ctx)
+    value, _ = parser.parse("Expression", stream_lex(source))
+    return value
+
+
+class TestSyntaxCase:
+    def test_matches_structure(self, ctx):
+        expr = parse_expr(ctx, "a + b")
+        result = syntax_case(ctx, "Expression", expr, [
+            ("Expression l \\* Expression r", lambda l, r: "product"),
+            ("Expression l + Expression r", lambda l, r: "sum"),
+        ])
+        assert result == "sum"
+
+    def test_bindings_passed_to_body(self, ctx):
+        expr = parse_expr(ctx, "1 + 2")
+        result = syntax_case(ctx, "Expression", expr, [
+            ("Expression l + Expression r",
+             lambda l, r: (l.value, r.value)),
+        ])
+        assert result == (1, 2)
+
+    def test_first_match_wins(self, ctx):
+        expr = parse_expr(ctx, "f(9)")
+        result = syntax_case(ctx, "Expression", expr, [
+            ("MethodName m (ArgList a)", lambda m, a: "call"),
+            (None, lambda: "default"),
+        ])
+        assert result == "call"
+
+    def test_default_case(self, ctx):
+        expr = parse_expr(ctx, "42")
+        result = syntax_case(ctx, "Expression", expr, [
+            ("Expression l + Expression r", lambda l, r: "sum"),
+            (None, lambda: "default"),
+        ])
+        assert result == "default"
+
+    def test_fallthrough_without_default_raises(self, ctx):
+        expr = parse_expr(ctx, "42")
+        with pytest.raises(TemplateError):
+            syntax_case(ctx, "Expression", expr, [
+                ("Expression l + Expression r", lambda l, r: "sum"),
+            ])
+
+    def test_token_value_case(self, ctx):
+        expr = parse_expr(ctx, "describe(x)")
+        result = syntax_case(ctx, "Expression", expr, [
+            ("describe (ArgList a)", lambda a: "described"),
+            (None, lambda: "other"),
+        ])
+        assert result == "described"
+
+    def test_statement_cases(self, ctx):
+        parser = Parser(ctx.env.tables(), ctx)
+        stmt, _ = parser.parse("Statement", stream_lex("while (x) f();"))
+        result = syntax_case(ctx, "Statement", stmt, [
+            ("if (Expression c) Statement s", lambda c, s: "if"),
+            ("while (Expression c) Statement s", lambda c, s: "while"),
+        ])
+        assert result == "while"

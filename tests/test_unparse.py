@@ -1,0 +1,107 @@
+"""The unparser: expanded ASTs back to compilable source."""
+
+import pytest
+
+from repro.ast import nodes as n
+from repro.ast import to_source
+from repro.core import CompileContext, CompileEnv
+from repro.lalr import Parser
+from repro.lexer import stream_lex
+from tests.conftest import compile_source
+
+
+def roundtrip_expr(source: str) -> str:
+    ctx = CompileContext(CompileEnv())
+    parser = Parser(ctx.env.tables(), ctx)
+    expr, _ = parser.parse("Expression", stream_lex(source))
+    return to_source(expr)
+
+
+class TestExpressionUnparse:
+    @pytest.mark.parametrize("source", [
+        "1 + 2 * 3",
+        "a.b.c",
+        "f(x, y)",
+        "new java.util.Vector()",
+        "xs[i]",
+        "(int) d",
+        "a instanceof java.lang.String",
+        "x = y + 1",
+        "cond ? a : b",
+        "!flag",
+        "i++",
+        "this.field",
+    ])
+    def test_roundtrip_fixed_point(self, source):
+        once = roundtrip_expr(source)
+        twice = roundtrip_expr(once)
+        assert once == twice
+
+    def test_string_literal_escaped(self):
+        assert roundtrip_expr('"a\\nb"') == '"a\\nb"'
+
+    def test_char_literal(self):
+        assert roundtrip_expr("'x'") == "'x'"
+
+    def test_boolean_literals(self):
+        assert roundtrip_expr("true") == "true"
+        assert roundtrip_expr("null") == "null"
+
+
+class TestProgramUnparse:
+    def test_structure_preserved(self):
+        program = compile_source("""
+            package demo;
+            import java.util.*;
+            class Widget extends Object {
+                static int count;
+                int id;
+                Widget(int id) { this.id = id; }
+                int getId() { return id; }
+            }
+        """)
+        source = program.source()
+        assert "package demo;" in source
+        assert "import java.util.*;" in source
+        assert "class Widget extends Object" in source
+        assert "Widget(int id)" in source
+
+    def test_statements_rendered(self):
+        program = compile_source("""
+            class Flow {
+                static int f(int x) {
+                    if (x > 0) { x--; } else x++;
+                    while (x < 10) x += 2;
+                    do { x--; } while (x > 5);
+                    for (int i = 0; i < 3; i++) x += i;
+                    int[] xs = { 1, 2 };
+                    return x + xs[0];
+                }
+            }
+        """)
+        source = program.source()
+        for fragment in ["if (x > 0)", "else", "while (x < 10)", "do",
+                         "for (int i = 0; i < 3; i++)", "{ 1, 2 }",
+                         "return"]:
+            assert fragment in source, fragment
+
+    def test_expanded_output_reparses(self):
+        """Unparsed output of a plain program recompiles to the same
+        unparsed output (fixed point)."""
+        program = compile_source("""
+            class P {
+                static int fib(int n) {
+                    return n < 2 ? n : fib(n - 1) + fib(n - 2);
+                }
+            }
+        """)
+        once = program.source()
+        again = compile_source(once).source()
+        assert once == again
+
+    def test_structural_equality_helper(self):
+        a = n.BinaryExpr("+", n.Literal("int", 1), n.Literal("int", 2))
+        b = n.BinaryExpr("+", n.Literal("int", 1), n.Literal("int", 2))
+        c = n.BinaryExpr("-", n.Literal("int", 1), n.Literal("int", 2))
+        assert n.structurally_equal(a, b)
+        assert not n.structurally_equal(a, c)
