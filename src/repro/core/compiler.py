@@ -17,16 +17,24 @@ reproduces the paper's figure-1 workflow: compiled extensions are
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, List, Optional
 
 from repro.ast import nodes as n
 from repro.ast import to_source
+from repro.diag import CompileFailed, DiagnosticError
 from repro.lexer import stream_lex
 from repro.typecheck import CheckError, Scope, check_block, resolve_type_name
 from repro.types import ClassType, VOID, array_of
 from repro.core.context import CompileContext
 from repro.core.drivers import parse_compilation_unit
 from repro.core.env import CompileEnv, MayaError
+
+#: Deep Mayan expansions and interpreter calls consume many Python
+#: frames per level; a roomy recursion limit keeps the *diagnostic*
+#: guard rails (fuel, call-depth budgets) tripping first, so users see
+#: a located error instead of a Python RecursionError.
+_RECURSION_LIMIT = 10_000
 
 
 class CompiledClass:
@@ -82,23 +90,54 @@ class MayaCompiler:
     # -- compilation ---------------------------------------------------------
 
     def compile(self, source: str, filename: str = "<string>") -> CompiledProgram:
+        if sys.getrecursionlimit() < _RECURSION_LIMIT:
+            sys.setrecursionlimit(_RECURSION_LIMIT)
+        engine = self.env.diag
+        mark = engine.mark()
+        engine.add_source(filename, source)
+
         unit_env = self.env.child()
         unit_env.imports = list(self.env.imports)
         ctx = CompileContext(unit_env)
 
-        tokens = stream_lex(source, filename)
-        unit = parse_compilation_unit(ctx, tokens)
-        self.program.units.append(unit)
+        try:
+            tokens = stream_lex(source, filename)
+            unit = parse_compilation_unit(ctx, tokens)
+            self.program.units.append(unit)
 
-        type_decls = [
-            decl for decl in unit.types
-            if isinstance(decl, (n.ClassDecl, n.InterfaceDecl))
-        ]
-        compiled = self._shape(type_decls, unit_env)
-        for hook in unit_env.unit_hooks:
-            hook(self.program, unit, unit_env)
-        self._compile_bodies(compiled, unit_env)
+            type_decls = [
+                decl for decl in unit.types
+                if isinstance(decl, (n.ClassDecl, n.InterfaceDecl))
+            ]
+            compiled = self._shape(type_decls, unit_env)
+            for hook in unit_env.unit_hooks:
+                hook(self.program, unit, unit_env)
+            # Parse/shape errors poison downstream phases wholesale, so
+            # report what was collected before compiling bodies.
+            self._raise_pending(engine, mark)
+            self._compile_bodies(compiled, unit_env)
+        except CompileFailed:
+            raise
+        except DiagnosticError as error:
+            # A phase that doesn't recover internally failed outright:
+            # fold it into the stream and report everything together.
+            engine.absorb(error)
+        self._raise_pending(engine, mark)
         return self.program
+
+    def _raise_pending(self, engine, mark: int) -> None:
+        """Report the compile's collected errors, if any.
+
+        A single recorded error re-raises its original exception (the
+        precise phase type callers have always caught); two or more
+        aggregate into one CompileFailed carrying every diagnostic.
+        """
+        errors = engine.errors_since(mark)
+        if not errors:
+            return
+        if len(errors) == 1 and errors[0].cause is not None:
+            raise errors[0].cause
+        raise CompileFailed(engine.diagnostics[mark:], engine)
 
     def compile_expression(self, source: str):
         """Parse (and expand) a single expression — REPL-style helper."""
@@ -215,30 +254,47 @@ class MayaCompiler:
             root = Scope(env=env)
             class_scope = root.class_scope(class_type)
             for member in item.decl.members:
-                if isinstance(member, n.FieldDecl):
-                    # Check field initializers as pseudo-declarations in
-                    # the class scope (static ones without ``this``).
-                    scope = class_scope.child()
-                    if "static" in member.modifiers:
-                        scope.this_type = None
-                        scope.static_context = True
-                    check_statement(
-                        n.LocalVarDecl(list(member.modifiers),
-                                       member.type_name, member.declarators),
-                        scope,
-                    )
-                elif isinstance(member, n.MethodDecl) and member.body is not None:
-                    method = member.method
-                    scope = class_scope.method_scope(
-                        class_type, method.is_static, method.return_type
-                    )
-                    self._bind_formals(member.formals, method.param_types, scope)
-                    member.body = self._force_body(member.body, scope)
-                elif isinstance(member, n.ConstructorDecl):
-                    scope = class_scope.method_scope(class_type, False, VOID)
-                    self._bind_formals(member.formals, member.method.param_types,
-                                       scope)
-                    member.body = self._force_body(member.body, scope)
+                try:
+                    if isinstance(member, n.FieldDecl):
+                        # Check field initializers as pseudo-declarations in
+                        # the class scope (static ones without ``this``).
+                        scope = class_scope.child()
+                        if "static" in member.modifiers:
+                            scope.this_type = None
+                            scope.static_context = True
+                        check_statement(
+                            n.LocalVarDecl(list(member.modifiers),
+                                           member.type_name, member.declarators),
+                            scope,
+                        )
+                    elif isinstance(member, n.MethodDecl) and member.body is not None:
+                        method = member.method
+                        scope = class_scope.method_scope(
+                            class_type, method.is_static, method.return_type
+                        )
+                        self._bind_formals(member.formals, method.param_types,
+                                           scope)
+                        member.body = self._force_body(member.body, scope)
+                    elif isinstance(member, n.ConstructorDecl):
+                        scope = class_scope.method_scope(class_type, False, VOID)
+                        self._bind_formals(member.formals,
+                                           member.method.param_types, scope)
+                        member.body = self._force_body(member.body, scope)
+                except DiagnosticError as error:
+                    # A failed member body doesn't hide its siblings:
+                    # record the diagnostic and move on (until the
+                    # --max-errors budget runs out).
+                    fresh = not getattr(error, "_diag_absorbed", False)
+                    if not env.diag.try_absorb(error):
+                        raise
+                    if fresh:
+                        member_name = getattr(
+                            getattr(member, "name", None), "name", None
+                        )
+                        where = class_type.simple_name + (
+                            f".{member_name}" if member_name else ""
+                        )
+                        error.diagnostic.with_note(f"while compiling {where}")
 
     def _bind_formals(self, formals, param_types, scope: Scope) -> None:
         for formal, param_type in zip(formals, param_types):

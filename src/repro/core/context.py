@@ -149,7 +149,7 @@ class CompileContext(ParserContext):
         return rebound
 
     def error(self, message: str, location: Location = Location.UNKNOWN):
-        return MayaError(f"{location}: {message}")
+        return MayaError(message, location=location)
 
     def resolve_type(self, name: str):
         """Resolve a dotted type name string against this environment."""

@@ -12,8 +12,31 @@ from __future__ import annotations
 from typing import List
 
 from repro.ast import nodes as n
-from repro.lalr import Parser
+from repro.lalr import ParseError, Parser
 from repro.lexer import Token
+
+
+def _skip_to_boundary(tokens: List[Token], position: int) -> int:
+    """Panic-mode recovery: consume at least one token, then everything
+    up to (and including) the next ``;`` or brace group.
+
+    The stream lexer has already matched delimiters, so a ``{...}``
+    body is a single BraceTree token here — skipping it lands exactly
+    on the next declaration."""
+    position += 1
+    while position < len(tokens):
+        kind = tokens[position].kind
+        position += 1
+        if kind in (";", "BraceTree"):
+            break
+    return position
+
+
+def _parse_error_recovery(ctx, error: ParseError) -> bool:
+    """Absorb a declaration-level parse error into the environment's
+    diagnostic engine; False means fail fast (no engine / over budget)."""
+    engine = getattr(ctx.env, "diag", None)
+    return engine is not None and engine.try_absorb(error, "parse")
 
 
 def parse_block_stmts(ctx, tokens: List[Token]) -> n.BlockStmts:
@@ -46,8 +69,14 @@ def parse_members(ctx, tokens: List[Token]) -> List[object]:
     position = 0
     while position < len(tokens):
         parser = Parser(ctx.env.tables(), ctx)
-        member, position = parser.parse("MemberDecl", tokens,
-                                        allow_prefix=True, offset=position)
+        try:
+            member, position = parser.parse("MemberDecl", tokens,
+                                            allow_prefix=True, offset=position)
+        except ParseError as error:
+            if not _parse_error_recovery(ctx, error):
+                raise
+            position = _skip_to_boundary(tokens, position)
+            continue
         if isinstance(member, n.UseDecl):
             child_env = ctx.env.child()
             member.metaprogram.run(child_env)
@@ -64,8 +93,14 @@ def parse_compilation_unit(ctx, tokens: List[Token]) -> n.CompilationUnit:
     position = 0
     while position < len(tokens):
         parser = Parser(ctx.env.tables(), ctx)
-        decl, position = parser.parse("Declaration", tokens,
-                                      allow_prefix=True, offset=position)
+        try:
+            decl, position = parser.parse("Declaration", tokens,
+                                          allow_prefix=True, offset=position)
+        except ParseError as error:
+            if not _parse_error_recovery(ctx, error):
+                raise
+            position = _skip_to_boundary(tokens, position)
+            continue
         if isinstance(decl, n.PackageDecl):
             package = decl
             ctx.env.package = ".".join(decl.parts)

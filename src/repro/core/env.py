@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.diag import Diagnostic, DiagnosticEngine, DiagnosticError, SourceSpan
 from repro.dispatch import Dispatcher, MetaProgram
 from repro.grammar import Grammar, Production
 from repro.javalang import BASE_ACTIONS, base_grammar
@@ -18,8 +19,20 @@ from repro.lalr.tables import ParseTables, tables_for
 from repro.types.builtins import standard_registry
 
 
-class MayaError(Exception):
+class MayaError(DiagnosticError):
     """A compilation error raised by the driver."""
+
+    phase = "compile"
+
+    def __init__(self, message: str, location=None):
+        super().__init__(f"{location}: {message}" if location is not None
+                         else message)
+        self.location = location
+        if location is not None:
+            self.diagnostic = Diagnostic(
+                message, phase=self.phase,
+                span=SourceSpan.from_location(location), cause=self,
+            )
 
 
 class CompileEnv:
@@ -37,6 +50,7 @@ class CompileEnv:
             self.package = parent.package
             self.class_hooks = parent.class_hooks
             self.unit_hooks = parent.unit_hooks
+            self.diag = parent.diag
         else:
             self.grammar = grammar if grammar is not None \
                 else base_grammar().copy("maya")
@@ -49,6 +63,9 @@ class CompileEnv:
             self.package: str = ""
             self.class_hooks: List = []
             self.unit_hooks: List = []
+            # One diagnostic engine per compilation tree: children share
+            # the root's, so every phase reports into the same stream.
+            self.diag = DiagnosticEngine()
         self.parent = parent
 
     # -- scoping ------------------------------------------------------------

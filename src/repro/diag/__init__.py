@@ -1,0 +1,41 @@
+"""The compiler resilience layer: structured, located diagnostics.
+
+Mayans are statically checked *user code running inside the compiler*,
+so a production mayac must survive buggy macros, malformed input, and
+runaway expansions instead of dying on the first Python traceback.
+This package supplies the shared machinery every phase uses:
+
+* :class:`Diagnostic` / :class:`SourceSpan` — the located error model
+  (severity, phase, span, message, notes, expansion backtrace);
+* :class:`DiagnosticEngine` — the per-compilation collector that also
+  remembers source text so diagnostics render with carets, and holds
+  the guard-rail knobs (``max_errors``, expansion fuel);
+* :class:`DiagnosticError` — the base of every compiler exception,
+  each a thin wrapper carrying a :class:`Diagnostic`;
+* :class:`CompileFailed` — the aggregate raised after multi-error
+  recovery, carrying *all* diagnostics from the run.
+
+Nothing here imports the rest of ``repro``; every layer (lexer,
+parser, checker, dispatcher, interpreter) depends on this one.
+"""
+
+from repro.diag.diagnostic import Diagnostic, SourceSpan
+from repro.diag.errors import CompileFailed, DiagnosticError, diagnostic_from
+from repro.diag.engine import (
+    DEFAULT_EXPANSION_DEPTH,
+    DEFAULT_MAX_ERRORS,
+    DEFAULT_MAYAN_REENTRY,
+    DiagnosticEngine,
+)
+
+__all__ = [
+    "CompileFailed",
+    "DEFAULT_EXPANSION_DEPTH",
+    "DEFAULT_MAX_ERRORS",
+    "DEFAULT_MAYAN_REENTRY",
+    "Diagnostic",
+    "DiagnosticEngine",
+    "DiagnosticError",
+    "SourceSpan",
+    "diagnostic_from",
+]

@@ -1,0 +1,126 @@
+"""The diagnostic model: spans, severities, phases, rendering.
+
+A Diagnostic is a located, phase-tagged message with optional notes and
+an expansion backtrace (the chain of Mayans whose expansions led to the
+error).  Rendering follows the familiar ``file:line:col`` convention
+with the offending source line and a caret underline when the source
+text is available::
+
+    demo.maya:3:17: [check] error: cannot assign boolean to int
+      |         int x = true;
+      |                 ^
+      note: while compiling method f
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+SEVERITIES = ("error", "warning", "note")
+
+#: Compiler phases a diagnostic can originate from.
+PHASES = ("lex", "parse", "check", "expand", "dispatch", "compile",
+          "interp", "general")
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A region of a source file (1-based line and column).
+
+    ``length`` is the number of columns the caret underline covers; a
+    plain point span has length 1.
+    """
+
+    filename: str = "<unknown>"
+    line: int = 0
+    column: int = 0
+    length: int = 1
+
+    @classmethod
+    def from_location(cls, location, length: int = 1) -> "SourceSpan":
+        """Build a span from any Location-like object (duck-typed so
+        this package need not import the lexer)."""
+        if location is None:
+            return cls()
+        return cls(
+            getattr(location, "filename", "<unknown>"),
+            getattr(location, "line", 0),
+            getattr(location, "column", 0),
+            max(1, length),
+        )
+
+    @property
+    def is_known(self) -> bool:
+        return self.line > 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class Diagnostic:
+    """A single located compiler message."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        severity: str = "error",
+        phase: str = "general",
+        span: Optional[SourceSpan] = None,
+        notes: Sequence[str] = (),
+        backtrace: Sequence[str] = (),
+        cause: Optional[BaseException] = None,
+    ):
+        if severity not in SEVERITIES:
+            raise ValueError(f"bad severity {severity!r}")
+        self.message = message
+        self.severity = severity
+        self.phase = phase
+        self.span = span if span is not None else SourceSpan()
+        self.notes: List[str] = list(notes)
+        self.backtrace: List[str] = list(backtrace)
+        #: The original exception this diagnostic was absorbed from, if
+        #: any.  Lets single-error compiles re-raise the precise type.
+        self.cause = cause
+
+    def with_note(self, note: str) -> "Diagnostic":
+        self.notes.append(note)
+        return self
+
+    def render(self, source_lookup: Optional[Callable[[str], Optional[str]]] = None) -> str:
+        """Render to text; ``source_lookup`` maps a filename to its
+        source text (enables the source line + caret underline)."""
+        head = f"[{self.phase}] {self.severity}: {self.message}"
+        if self.span.is_known:
+            head = f"{self.span}: {head}"
+        lines = [head]
+        snippet = self._snippet(source_lookup)
+        if snippet:
+            lines.extend(snippet)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for entry in self.backtrace:
+            lines.append(f"  in expansion of {entry}")
+        return "\n".join(lines)
+
+    def _snippet(self, source_lookup) -> List[str]:
+        if source_lookup is None or not self.span.is_known:
+            return []
+        text = source_lookup(self.span.filename)
+        if text is None:
+            return []
+        source_lines = text.splitlines()
+        if not (1 <= self.span.line <= len(source_lines)):
+            return []
+        line = source_lines[self.span.line - 1].replace("\t", " ")
+        caret_pad = " " * max(0, self.span.column - 1)
+        caret = "^" + "~" * max(0, self.span.length - 1)
+        return [f"  | {line}", f"  | {caret_pad}{caret}"]
+
+    def __repr__(self) -> str:
+        return f"<diagnostic [{self.phase}] {self.severity} {self.span}: " \
+               f"{self.message!r}>"
+
+    def __str__(self) -> str:
+        return self.render()

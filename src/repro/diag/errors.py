@@ -1,0 +1,88 @@
+"""Exception bases: every compiler error is a thin Diagnostic wrapper.
+
+Phase-specific exception types (``LexError``, ``ParseError``,
+``CheckError``, ``MayaError``, ``DispatchError``, ...) subclass
+:class:`DiagnosticError`.  Their message formats are unchanged — the
+structured :class:`Diagnostic` rides along on ``.diagnostic`` and is
+synthesized lazily for subclasses that never build one explicitly.
+
+:class:`CompileFailed` aggregates the diagnostics of a whole
+multi-error compile.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.diag.diagnostic import Diagnostic, SourceSpan
+
+
+class DiagnosticError(Exception):
+    """Base of all compiler errors; carries a :class:`Diagnostic`.
+
+    Subclasses either assign ``self.diagnostic`` in their constructor
+    or just set a class-level ``phase`` and (optionally) an instance
+    ``location`` attribute — a diagnostic is synthesized on first
+    access from ``str(self)``.
+    """
+
+    phase: str = "general"
+
+    _diagnostic: Optional[Diagnostic] = None
+
+    @property
+    def diagnostic(self) -> Diagnostic:
+        if self._diagnostic is None:
+            self._diagnostic = Diagnostic(
+                str(self),
+                phase=self.phase,
+                span=SourceSpan.from_location(getattr(self, "location", None)),
+                cause=self,
+            )
+        return self._diagnostic
+
+    @diagnostic.setter
+    def diagnostic(self, value: Diagnostic) -> None:
+        self._diagnostic = value
+
+
+def diagnostic_from(error: BaseException, phase: str = "general") -> Diagnostic:
+    """The diagnostic for any exception (synthesized for foreign ones)."""
+    if isinstance(error, DiagnosticError):
+        diag = error.diagnostic
+        if diag.cause is None:
+            diag.cause = error
+        return diag
+    return Diagnostic(
+        f"{type(error).__name__}: {error}",
+        phase=phase,
+        span=SourceSpan.from_location(getattr(error, "location", None)),
+        cause=error,
+    )
+
+
+class CompileFailed(DiagnosticError):
+    """Raised at the end of a compile that recorded multiple errors.
+
+    ``diagnostics`` holds every error (and warning) diagnostic from the
+    failed run, in emission order; ``render()`` formats them all.
+    """
+
+    phase = "compile"
+
+    def __init__(self, diagnostics: Sequence[Diagnostic], engine=None):
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        self.engine = engine
+        errors = sum(1 for d in self.diagnostics if d.severity == "error")
+        summary = f"compilation failed with {errors} error" \
+                  f"{'s' if errors != 1 else ''}"
+        super().__init__(
+            summary + "".join(f"\n{d.span}: {d.message}" for d in self.diagnostics)
+        )
+        self.diagnostic = Diagnostic(summary, phase="compile", cause=self)
+
+    def render(self) -> str:
+        """All diagnostics rendered (with carets when an engine with
+        registered sources was attached)."""
+        lookup = self.engine.source_text if self.engine is not None else None
+        return "\n".join(d.render(lookup) for d in self.diagnostics)

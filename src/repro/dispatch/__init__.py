@@ -20,6 +20,8 @@ from repro.dispatch.dispatcher import (
     AmbiguousDispatchError,
     DispatchError,
     Dispatcher,
+    ExpansionTooDeepError,
+    MayanExpansionError,
     NoApplicableMayanError,
 )
 from repro.dispatch.mayan import Mayan, MetaProgram, MetaProgramGroup
@@ -29,7 +31,9 @@ __all__ = [
     "ClassSpec",
     "DispatchError",
     "Dispatcher",
+    "ExpansionTooDeepError",
     "Mayan",
+    "MayanExpansionError",
     "MetaProgram",
     "MetaProgramGroup",
     "NoApplicableMayanError",

@@ -20,6 +20,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.diag import (
+    DEFAULT_EXPANSION_DEPTH,
+    DEFAULT_MAYAN_REENTRY,
+    Diagnostic,
+    DiagnosticError,
+    SourceSpan,
+)
 from repro.grammar import Production
 from repro.lexer import Location
 from repro.dispatch.specializers import (
@@ -32,8 +39,10 @@ from repro.dispatch.specializers import (
 )
 
 
-class DispatchError(Exception):
+class DispatchError(DiagnosticError):
     """A Mayan dispatch failure."""
+
+    phase = "dispatch"
 
 
 class AmbiguousDispatchError(DispatchError):
@@ -46,6 +55,48 @@ class NoApplicableMayanError(DispatchError):
     The paper: "if no Mayans are declared on a new production ... an
     error is signaled [when] input causes the production to reduce."
     """
+
+
+class ExpansionTooDeepError(DispatchError):
+    """A Mayan expansion chain exhausted its fuel budget — either too
+    many nested activations overall, or one Mayan re-triggering itself
+    (the classic self-recursive template bomb)."""
+
+    phase = "expand"
+
+    def __init__(self, message: str, location: Location, chain: List[str]):
+        super().__init__(f"{location}: {message}")
+        self.location = location
+        self.chain = list(chain)
+        self.diagnostic = Diagnostic(
+            message, phase="expand",
+            span=SourceSpan.from_location(location),
+            backtrace=self.chain, cause=self,
+        )
+
+
+class MayanExpansionError(DispatchError):
+    """A Python exception escaped a user Mayan's ``expand`` body.
+
+    Mayans are user code running inside the compiler; their bugs must
+    surface as located diagnostics naming the Mayan, not as raw Python
+    tracebacks out of mayac."""
+
+    phase = "expand"
+
+    def __init__(self, mayan, location: Location, cause: BaseException,
+                 chain: List[str]):
+        message = (f"Python error in Mayan {mayan}: "
+                   f"{type(cause).__name__}: {cause}")
+        super().__init__(f"{location}: {message}")
+        self.location = location
+        self.mayan = mayan
+        self.chain = list(chain)
+        self.diagnostic = Diagnostic(
+            message, phase="expand",
+            span=SourceSpan.from_location(location),
+            backtrace=self.chain, cause=self,
+        )
 
 
 class Dispatcher:
@@ -62,6 +113,9 @@ class Dispatcher:
         self.root = parent.root if parent is not None else self
         self._chains: Dict[Production, List] = {}
         self.dispatch_count = 0
+        # Active Mayan activations, rooted once per dispatcher tree so
+        # nested ``use`` scopes share one fuel budget.
+        self.expansion_stack: List[Tuple[object, Location]] = []
 
     def child(self) -> "Dispatcher":
         return Dispatcher(self.base_actions, parent=self)
@@ -102,12 +156,33 @@ class Dispatcher:
         chain = _order_chain(applicable, ctx, production, location)
 
         base = self.base_actions.get(production)
+        stack = self.root.expansion_stack
+        engine = getattr(getattr(ctx, "env", None), "diag", None)
+        depth_limit = getattr(engine, "max_expansion_depth",
+                              DEFAULT_EXPANSION_DEPTH)
+        reentry_limit = getattr(engine, "max_mayan_reentry",
+                                DEFAULT_MAYAN_REENTRY)
 
         def run(index: int):
             if index < len(chain):
                 mayan, bindings = chain[index]
-                return mayan.invoke(ctx, bindings, values, location,
-                                    lambda: run(index + 1))
+                self._check_fuel(mayan, location, stack,
+                                 depth_limit, reentry_limit)
+                stack.append((mayan, location))
+                try:
+                    return mayan.invoke(ctx, bindings, values, location,
+                                        lambda: run(index + 1))
+                except DiagnosticError:
+                    raise
+                except Exception as error:
+                    # A metaprogram bug is still a *compile* error: name
+                    # the Mayan and locate the activation instead of
+                    # letting a raw Python traceback escape mayac.
+                    raise MayanExpansionError(
+                        mayan, location, error, _chain_entries(stack)
+                    ) from error
+                finally:
+                    stack.pop()
             if base is not None:
                 return base(ctx, values, location)
             raise NoApplicableMayanError(
@@ -115,6 +190,53 @@ class Dispatcher:
             )
 
         return run(0)
+
+    @staticmethod
+    def _check_fuel(mayan, location: Location, stack,
+                    depth_limit: int, reentry_limit: int) -> None:
+        """The expansion guard rails (fuel + re-entrant cycle detector).
+
+        The re-entry check trips a self-recursive Mayan after a few
+        activations; the overall depth budget catches mutual-recursion
+        chains where no single Mayan dominates."""
+        if len(stack) >= depth_limit:
+            raise ExpansionTooDeepError(
+                f"expansion too deep: {len(stack)} nested Mayan "
+                f"activations exceed the fuel budget of {depth_limit} "
+                f"(raise it with --fuel if the expansion is legitimate)",
+                _located(location, stack), _chain_entries(stack),
+            )
+        reentries = sum(1 for active, _ in stack if active is mayan)
+        if reentries >= reentry_limit:
+            raise ExpansionTooDeepError(
+                f"expansion too deep: Mayan {mayan} re-entered "
+                f"{reentries} times — its expansion appears to trigger "
+                f"itself",
+                _located(location, stack), _chain_entries(stack),
+            )
+
+
+def _located(location: Location, stack) -> Location:
+    """The trip location, or — when the expansion happened inside
+    template-made syntax with no source position — the innermost
+    activation that still points into real source."""
+    if getattr(location, "line", 0) > 0:
+        return location
+    for _, active_location in reversed(stack):
+        if getattr(active_location, "line", 0) > 0:
+            return active_location
+    return location
+
+
+def _chain_entries(stack, limit: int = 12) -> List[str]:
+    """Render the active expansion chain innermost-first for a
+    diagnostic backtrace, eliding the middle of huge chains."""
+    entries = [f"{mayan} at {location}" for mayan, location in reversed(stack)]
+    if len(entries) > limit:
+        shown = limit // 2
+        omitted = len(entries) - 2 * shown
+        entries = entries[:shown] + [f"... ({omitted} more)"] + entries[-shown:]
+    return entries
 
 
 def _order_chain(applicable, env, production, location):

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from repro.diag import DiagnosticError
 from repro.patterns.pattern_parser import (
     PTGroup,
     PTHole,
@@ -35,8 +36,10 @@ from repro.patterns.pattern_parser import (
 BINDING_NONTERMINALS = frozenset(["UnboundLocal"])
 
 
-class HygieneError(Exception):
+class HygieneError(DiagnosticError):
     """A template refers to a free variable or unknown type."""
+
+    phase = "expand"
 
 
 class TemplateInfo:

@@ -7,7 +7,12 @@ benchmarks measure what the paper's optimized expansions save.
 """
 
 from repro.interp.values import JavaArray, JavaNull, JavaObject, JavaThrow, java_str
-from repro.interp.interp import Counters, Interpreter
+from repro.interp.interp import (
+    Counters,
+    Interpreter,
+    JavaStackOverflow,
+    StepLimitExceeded,
+)
 
 __all__ = [
     "Counters",
@@ -15,6 +20,8 @@ __all__ = [
     "JavaArray",
     "JavaNull",
     "JavaObject",
+    "JavaStackOverflow",
     "JavaThrow",
+    "StepLimitExceeded",
     "java_str",
 ]

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.ast import nodes as n
 from repro.core import CompiledProgram, MayaError
+from repro.diag import DiagnosticError
 from repro.interp.builtins import StreamPeer, build_table
 from repro.interp.values import (
     JavaArray,
@@ -48,6 +50,31 @@ class Counters:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
+#: Default Java-level call-depth budget.  Each interpreted call burns a
+#: handful of Python frames, so the budget plus the recursion-limit bump
+#: below guarantees JavaStackOverflow fires before Python's own
+#: RecursionError would.
+DEFAULT_MAX_CALL_DEPTH = 256
+
+_RECURSION_LIMIT = 10_000
+
+
+class JavaStackOverflow(DiagnosticError):
+    """Interpreted Java recursion exceeded the call-depth budget.
+
+    The Java program's runaway recursion, not the host's: catchable by
+    embedders and reported as a clean diagnostic by mayac --run."""
+
+    phase = "interp"
+
+
+class StepLimitExceeded(DiagnosticError):
+    """The interpreter's statement budget ran out (infinite-loop guard
+    for embedders that set ``max_steps``)."""
+
+    phase = "interp"
+
+
 class _Return(Exception):
     def __init__(self, value):
         self.value = value
@@ -64,7 +91,9 @@ class _Continue(Exception):
 class Interpreter:
     """Executes a CompiledProgram."""
 
-    def __init__(self, program: CompiledProgram, echo: bool = False):
+    def __init__(self, program: CompiledProgram, echo: bool = False,
+                 max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
+                 max_steps: Optional[int] = None):
         self.program = program
         self.registry = program.env.registry
         self.builtins = build_table()
@@ -73,6 +102,11 @@ class Interpreter:
         self.out = self._make_stream(echo)
         self.err = self._make_stream(echo)
         self._statics_initialized = False
+        self.max_call_depth = max_call_depth
+        self.max_steps = max_steps
+        self._call_depth = 0
+        if sys.getrecursionlimit() < _RECURSION_LIMIT:
+            sys.setrecursionlimit(_RECURSION_LIMIT)
 
     # -- setup -----------------------------------------------------------
 
@@ -225,6 +259,18 @@ class Interpreter:
 
     def invoke_exact(self, method: Method, receiver, args):
         """Invoke without virtual lookup (super sends)."""
+        if self._call_depth >= self.max_call_depth:
+            raise JavaStackOverflow(
+                f"Java stack overflow: call depth exceeded "
+                f"{self.max_call_depth} invoking {method}"
+            )
+        self._call_depth += 1
+        try:
+            return self._invoke_exact(method, receiver, args)
+        finally:
+            self._call_depth -= 1
+
+    def _invoke_exact(self, method: Method, receiver, args):
         if method.impl is not None:
             # A Python implementation attached directly to the Method
             # (intercession-added members).
@@ -298,6 +344,12 @@ class Interpreter:
 
     def exec_stmt(self, stmt, frame) -> None:
         self.counters.statements += 1
+        if self.max_steps is not None and \
+                self.counters.statements > self.max_steps:
+            raise StepLimitExceeded(
+                f"step budget exhausted: executed more than "
+                f"{self.max_steps} statements"
+            )
         if isinstance(stmt, n.LazyNode):
             self.exec_stmt(stmt.force(), frame)
         elif isinstance(stmt, n.Block):

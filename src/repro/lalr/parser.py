@@ -16,13 +16,16 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.diag import Diagnostic, DiagnosticError, SourceSpan
 from repro.grammar import Production
 from repro.lexer import Location, Token
 from repro.lalr.tables import ACCEPT, REDUCE, SHIFT, ParseTables
 
 
-class ParseError(Exception):
+class ParseError(DiagnosticError):
     """A syntax error with location and expectation info."""
+
+    phase = "parse"
 
     def __init__(self, message: str, location: Location, expected: Sequence[str] = ()):
         self.location = location
@@ -32,6 +35,15 @@ class ParseError(Exception):
             shown = ", ".join(self.expected[:10])
             detail += f" (expected one of: {shown})"
         super().__init__(detail)
+        diagnostic = Diagnostic(
+            message, phase="parse",
+            span=SourceSpan.from_location(location), cause=self,
+        )
+        if self.expected:
+            diagnostic.with_note(
+                "expected one of: " + ", ".join(self.expected[:10])
+            )
+        self.diagnostic = diagnostic
 
 
 class ParserContext:

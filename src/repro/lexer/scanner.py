@@ -4,16 +4,23 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.diag import Diagnostic, DiagnosticError, SourceSpan
 from repro.lexer.source import Location, SourceFile
 from repro.lexer.tokens import KEYWORDS, OPERATORS, Token
 
 
-class LexError(Exception):
+class LexError(DiagnosticError):
     """A lexical error with a source location."""
+
+    phase = "lex"
 
     def __init__(self, message: str, location: Location):
         super().__init__(f"{location}: {message}")
         self.location = location
+        self.diagnostic = Diagnostic(
+            message, phase="lex",
+            span=SourceSpan.from_location(location), cause=self,
+        )
 
 
 _SORTED_OPERATORS = sorted(OPERATORS, key=len, reverse=True)

@@ -58,7 +58,11 @@ class StreamLexer:
             if token.text in OPEN_DELIMS:
                 children, closer = self._group(token)
                 if closer is None:
-                    raise LexError(f"unmatched {token.text!r}", token.location)
+                    raise LexError(
+                        f"unexpected end of file, unclosed {token.text!r} "
+                        f"opened at {token.location.line}:{token.location.column}",
+                        token.location,
+                    )
                 out.append(self._make_tree(token, children))
             elif token.text in CLOSE_DELIMS:
                 if token.text != expected_close:

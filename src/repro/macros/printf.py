@@ -10,6 +10,7 @@ from __future__ import annotations
 import re
 from typing import List
 
+from repro.diag import DiagnosticError
 from repro.ast import nodes as n
 from repro.dispatch import Mayan
 from repro.javalang import node_symbol
@@ -25,8 +26,10 @@ _EXPECTED = {
 }
 
 
-class PrintfError(Exception):
+class PrintfError(DiagnosticError):
     """A format string mismatch, reported at compile time."""
+
+    phase = "expand"
 
 
 class Printf(Mayan):

@@ -9,9 +9,16 @@ Options:
     --expand          print the expanded (plain Java) source
     --no-macros       do not register the maya.util library
     --multijava       register the MultiJava extension
+    --max-errors N    stop collecting after N errors (default 20)
+    --fuel N          Mayan expansion depth budget (default 64)
 
 The macro library is registered by default, so sources can say
 ``use maya.util.ForEach;`` etc.
+
+Unlike the paper's mayac (which stops at the first error), this front
+end keeps compiling past recoverable errors and renders every collected
+diagnostic — source line, caret, notes, expansion backtrace — to
+stderr, exiting 1.
 """
 
 from __future__ import annotations
@@ -20,6 +27,12 @@ import argparse
 import sys
 
 from repro import MayaCompiler
+from repro.diag import (
+    DEFAULT_EXPANSION_DEPTH,
+    DEFAULT_MAX_ERRORS,
+    CompileFailed,
+    DiagnosticError,
+)
 from repro.interp import Interpreter
 from repro.macros import install_macro_library
 from repro.multijava import install_multijava
@@ -41,12 +54,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the maya.util macro library")
     parser.add_argument("--multijava", action="store_true",
                         help="enable the MultiJava extension")
+    parser.add_argument("--max-errors", type=int, metavar="N",
+                        default=DEFAULT_MAX_ERRORS,
+                        help="stop collecting after N errors "
+                             "(default %(default)s)")
+    parser.add_argument("--fuel", type=int, metavar="N",
+                        default=DEFAULT_EXPANSION_DEPTH,
+                        help="Mayan expansion depth budget "
+                             "(default %(default)s)")
     return parser
+
+
+def _report(engine, error: BaseException) -> None:
+    """Render a compile failure to stderr — every collected diagnostic
+    for a multi-error CompileFailed, the single diagnostic otherwise."""
+    if isinstance(error, CompileFailed):
+        rendered = error.render()
+        count = sum(1 for d in error.diagnostics if d.severity == "error")
+    elif isinstance(error, DiagnosticError):
+        rendered = engine.render(error.diagnostic)
+        count = 1
+    else:
+        rendered = f"{type(error).__name__}: {error}"
+        count = 1
+    print(rendered, file=sys.stderr)
+    plural = "s" if count != 1 else ""
+    print(f"mayac: {count} error{plural}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     compiler = MayaCompiler()
+    engine = compiler.env.diag
+    engine.max_errors = max(1, args.max_errors)
+    engine.max_expansion_depth = max(1, args.fuel)
     if not args.no_macros:
         install_macro_library(compiler)
     if args.multijava:
@@ -56,12 +97,17 @@ def main(argv=None) -> int:
 
     program = None
     for path in args.files:
-        with open(path, "r", encoding="utf-8") as handle:
-            source = handle.read()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"mayac: cannot read {path}: {error.strerror}",
+                  file=sys.stderr)
+            return 1
         try:
             program = compiler.compile(source, path)
         except Exception as error:  # surface compile errors cleanly
-            print(f"mayac: {error}", file=sys.stderr)
+            _report(engine, error)
             return 1
 
     if args.expand and program is not None:
@@ -71,6 +117,9 @@ def main(argv=None) -> int:
         interp = Interpreter(program, echo=True)
         try:
             interp.run_static(args.run)
+        except DiagnosticError as error:
+            print(engine.render(error.diagnostic), file=sys.stderr)
+            return 2
         except Exception as error:
             print(f"mayac: runtime error: {error}", file=sys.stderr)
             return 2

@@ -13,13 +13,16 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.diag import DiagnosticError
 from repro.ast import nodes as n
 from repro.patterns import Template
 from repro.types import ClassType, Type
 
 
-class MultiJavaError(Exception):
+class MultiJavaError(DiagnosticError):
     """A MultiJava restriction or completeness violation."""
+
+    phase = "check"
 
 
 class MultiMethod:

@@ -32,13 +32,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.diag import DiagnosticError
 from repro.dispatch.specializers import ClassSpec, Specializer, TokenSpec, TypeSpec
 from repro.grammar import LazySym, ListSym, Nonterminal, Symbol
 from repro.lexer import Location, Token, stream_lex
 
 
-class PatternError(Exception):
+class PatternError(DiagnosticError):
     """An error in a pattern or template's surface syntax."""
+
+    phase = "expand"
 
 
 class TokItem:

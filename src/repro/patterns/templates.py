@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.diag import DiagnosticError
 from repro.ast import nodes as n
 from repro.grammar import Symbol
 from repro.hygiene.analysis import analyze_template
@@ -32,8 +33,10 @@ from repro.patterns.pattern_parser import (
 )
 
 
-class TemplateError(Exception):
+class TemplateError(DiagnosticError):
     """A template was misused (bad hole value, missing binding, ...)."""
+
+    phase = "expand"
 
 
 class PseudoToken:

@@ -13,12 +13,15 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.ast import nodes as n
+from repro.diag import Diagnostic, DiagnosticError, SourceSpan
 from repro.types import (
     ArrayType,
     BOOLEAN,
     CHAR,
     ClassType,
     DOUBLE,
+    ERROR,
+    ErrorType,
     INT,
     LONG,
     NULL,
@@ -41,13 +44,20 @@ _PRIM_BY_LITERAL = {
 }
 
 
-class CheckError(Exception):
+class CheckError(DiagnosticError):
     """A static semantic error."""
+
+    phase = "check"
 
     def __init__(self, message: str, node=None):
         location = getattr(node, "location", None)
         super().__init__(f"{location}: {message}" if location else message)
         self.node = node
+        self.location = location
+        self.diagnostic = Diagnostic(
+            message, phase="check",
+            span=SourceSpan.from_location(location), cause=self,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +168,10 @@ _LENGTH_FIELD = object()
 def _instance_field(current: Type, name: str, expr):
     if isinstance(current, ArrayType) and name == "length":
         return None  # sentinel: array length (type int)
+    if isinstance(current, ErrorType):
+        from repro.types import Field
+
+        return Field(name, ERROR)  # poison propagates, no cascade error
     if not isinstance(current, ClassType):
         raise CheckError(f"{current} has no field {name}", expr)
     field = current.find_field(name)
@@ -228,6 +242,9 @@ def _type_of(expr) -> Type:
 
     if isinstance(expr, n.ArrayAccess):
         array_type = static_type_of(expr.array)
+        if isinstance(array_type, ErrorType):
+            _require(expr.index, INT, "array index")
+            return ERROR
         if not isinstance(array_type, ArrayType):
             raise CheckError(f"indexing non-array type {array_type}", expr)
         _require(expr.index, INT, "array index")
@@ -351,6 +368,9 @@ def _binary_type(expr: n.BinaryExpr) -> Type:
     op = expr.op
     left = static_type_of(expr.left)
     right = static_type_of(expr.right)
+    if isinstance(left, ErrorType) or isinstance(right, ErrorType):
+        return BOOLEAN if op in ("==", "!=", "<", ">", "<=", ">=",
+                                 "&&", "||") else ERROR
     scope = expr.scope
     if op == "+":
         string_type = _string_type(scope) if scope and scope.env else None
@@ -434,6 +454,10 @@ def _invocation_type(expr: n.MethodInvocation) -> Type:
 
 
 def _find_on_type(receiver_type: Type, name, arg_types, expr):
+    if isinstance(receiver_type, ErrorType):
+        from repro.types import Method
+
+        return Method(str(name), arg_types, ERROR)  # poisoned call
     if not isinstance(receiver_type, ClassType):
         raise CheckError(
             f"cannot call {name} on {receiver_type}", expr
@@ -458,8 +482,26 @@ def _find(klass: ClassType, name, arg_types, expr, static_only=False):
 # ---------------------------------------------------------------------------
 
 
+def _engine_of(scope: Scope):
+    """The diagnostic engine reachable from a scope, if any."""
+    return getattr(getattr(scope, "env", None), "diag", None)
+
+
+def _recover(scope: Scope, error: CheckError) -> None:
+    """Record a check error and continue (multi-error recovery), or
+    re-raise when no engine is reachable / the error budget is spent."""
+    engine = _engine_of(scope)
+    if engine is None or not engine.try_absorb(error, "check"):
+        raise error
+
+
 def check_block(block: n.BlockStmts, scope: Scope) -> None:
-    """Check a statement list, forcing lazies and extending scope."""
+    """Check a statement list, forcing lazies and extending scope.
+
+    A statement that fails to check records a diagnostic and is skipped
+    (its expressions are poisoned with ErrorType where bindings matter),
+    so one bad statement no longer hides every later error.
+    """
     stmts = block.stmts
     index = 0
     while index < len(stmts):
@@ -471,7 +513,10 @@ def check_block(block: n.BlockStmts, scope: Scope) -> None:
                 continue
             stmts[index] = forced
             stmt = forced
-        check_statement(stmt, scope)
+        try:
+            check_statement(stmt, scope)
+        except CheckError as error:
+            _recover(scope, error)
         index += 1
 
 
@@ -564,18 +609,28 @@ def check_statement(stmt, scope: Scope) -> None:
 def _check_local_var(stmt: n.LocalVarDecl, scope: Scope) -> None:
     if isinstance(stmt.type_name, n.StrictTypeName) or stmt.type_name.scope is None:
         stmt.type_name.scope = scope
-    declared = resolve_type_name(stmt.type_name, scope)
+    try:
+        declared = resolve_type_name(stmt.type_name, scope)
+    except CheckError as error:
+        _recover(scope, error)
+        declared = ERROR
     for name_ident, dims, init in stmt.bindings():
-        var_type = array_of(declared, dims) if dims else declared
+        var_type = array_of(declared, dims) \
+            if dims and not isinstance(declared, ErrorType) else declared
         if init is not None:
-            _check_expr(init, scope)
-            if not isinstance(init, n.ArrayInitializer):
-                init_type = static_type_of(init)
-                if not can_assign(init_type, var_type):
-                    raise CheckError(
-                        f"cannot initialize {var_type} {name_ident} "
-                        f"with {init_type}", stmt
-                    )
+            # Recover per initializer: the variable is still defined
+            # (poisoned if need be) so later uses don't cascade.
+            try:
+                _check_expr(init, scope)
+                if not isinstance(init, n.ArrayInitializer):
+                    init_type = static_type_of(init)
+                    if not can_assign(init_type, var_type):
+                        raise CheckError(
+                            f"cannot initialize {var_type} {name_ident} "
+                            f"with {init_type}", stmt
+                        )
+            except CheckError as error:
+                _recover(scope, error)
         scope.define(name_ident.name, var_type, "local", stmt)
 
 

@@ -8,6 +8,8 @@ metaprograms add members to a class body (section 3.2).
 from repro.types.types import (
     ArrayType,
     ClassType,
+    ERROR,
+    ErrorType,
     Field,
     Method,
     NullType,
@@ -39,6 +41,8 @@ __all__ = [
     "CHAR",
     "ClassType",
     "DOUBLE",
+    "ERROR",
+    "ErrorType",
     "FLOAT",
     "Field",
     "INT",

@@ -4,10 +4,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.diag import DiagnosticError
 
-class TypeError_(Exception):
+
+class TypeError_(DiagnosticError):
     """A static type error (named with a trailing underscore to avoid
     shadowing the builtin)."""
+
+    phase = "check"
 
 
 class Type:
@@ -90,6 +94,32 @@ class NullType(Type):
 
 
 NULL = NullType()
+
+
+class ErrorType(Type):
+    """The poison type of an expression that already failed to check.
+
+    It silently unifies with everything (assignable to and from any
+    type, castable, promotable), so one bad statement no longer hides
+    every later error behind cascade failures.  Never escapes a
+    successful compile: the checker only produces it on a path that has
+    already recorded an error diagnostic.
+    """
+
+    def is_subtype_of(self, other: Type) -> bool:
+        return True
+
+    def is_reference(self) -> bool:
+        return True
+
+    def syntax_parts(self):
+        return (("<error>",), 0)
+
+    def __repr__(self):
+        return "<error-type>"
+
+
+ERROR = ErrorType()
 
 
 class Field:
@@ -371,6 +401,8 @@ def can_assign(src: Type, dst: Type) -> bool:
     """Assignment conversion: identity, widening, or reference subtyping."""
     if src is dst:
         return True
+    if isinstance(src, ErrorType) or isinstance(dst, ErrorType):
+        return True  # poison unifies silently (recovery mode)
     if isinstance(src, PrimitiveType) and isinstance(dst, PrimitiveType):
         return src.widens_to(dst)
     if src.is_reference() and dst.is_reference():
@@ -394,8 +426,10 @@ def can_cast(src: Type, dst: Type) -> bool:
     return False
 
 
-def binary_numeric_promotion(left: Type, right: Type) -> PrimitiveType:
+def binary_numeric_promotion(left: Type, right: Type) -> Type:
     """JLS 5.6.2, simplified to our primitive set."""
+    if isinstance(left, ErrorType) or isinstance(right, ErrorType):
+        return ERROR
     for name in ("double", "float", "long"):
         prim = PRIMITIVES[name]
         if left is prim or right is prim:

@@ -1,0 +1,243 @@
+"""The resilience layer: multi-error recovery, caret rendering, and
+the expansion/interpreter guard rails."""
+
+import pytest
+
+from repro.diag import (
+    CompileFailed,
+    Diagnostic,
+    DiagnosticEngine,
+    SourceSpan,
+)
+from repro.dispatch import ExpansionTooDeepError, Mayan, MayanExpansionError
+from repro.interp import Interpreter, JavaStackOverflow, StepLimitExceeded
+from repro.patterns import Template
+from tests.conftest import compile_source, make_compiler
+
+
+THREE_BAD_METHODS = """class Demo {
+    int a() { int x = true; return x; }
+    int b() { return "nope"; }
+    void c() { nosuch(); }
+}"""
+
+
+class TestMultiErrorCollection:
+    def test_three_type_errors_three_diagnostics(self):
+        """The acceptance case: one compile reports every bad method."""
+        with pytest.raises(CompileFailed) as exc:
+            compile_source(THREE_BAD_METHODS)
+        failed = exc.value
+        errors = [d for d in failed.diagnostics if d.severity == "error"]
+        assert len(errors) == 3
+        lines = sorted(d.span.line for d in errors)
+        assert lines == [2, 3, 4]
+        assert all(d.phase == "check" for d in errors)
+
+    def test_compile_failed_message_lists_spans(self):
+        with pytest.raises(CompileFailed) as exc:
+            compile_source(THREE_BAD_METHODS)
+        message = str(exc.value)
+        assert "compilation failed with 3 errors" in message
+        assert "<string>:2:" in message
+
+    def test_single_error_reraises_original_type(self):
+        """One error keeps the precise phase exception (compat)."""
+        from repro.typecheck import CheckError
+
+        with pytest.raises(CheckError):
+            compile_source("class A { void f() { nosuch(); } }")
+
+    def test_two_bad_declarations_both_reported(self):
+        """Panic-mode recovery resumes at the next declaration."""
+        with pytest.raises(CompileFailed) as exc:
+            compile_source("""class A extends { void f() { } }
+class B implements { }""")
+        errors = [d for d in exc.value.diagnostics if d.severity == "error"]
+        assert len(errors) == 2
+        assert all(d.phase == "parse" for d in errors)
+
+    def test_recovery_continues_past_bad_statement(self):
+        """A bad statement poisons its expression, not its siblings."""
+        with pytest.raises(CompileFailed) as exc:
+            compile_source("""class A {
+    void f() {
+        int x = nosuch();
+        boolean b = alsonosuch();
+    }
+}""")
+        errors = [d for d in exc.value.diagnostics if d.severity == "error"]
+        assert len(errors) == 2
+
+    def test_max_errors_budget_caps_collection(self):
+        compiler = make_compiler()
+        compiler.env.diag.max_errors = 2
+        with pytest.raises(CompileFailed) as exc:
+            compiler.compile(THREE_BAD_METHODS)
+        errors = [d for d in exc.value.diagnostics if d.severity == "error"]
+        assert len(errors) == 2
+
+    def test_good_class_after_failed_compile_still_works(self):
+        """A failed compile leaves the compiler usable (no poisoned
+        state leaks into the next unit)."""
+        compiler = make_compiler()
+        with pytest.raises(CompileFailed):
+            compiler.compile(THREE_BAD_METHODS, "bad.maya")
+        program = compiler.compile(
+            "class Ok { static int f() { return 3; } }", "ok.maya")
+        interp = Interpreter(program)
+        assert interp.run_static("Ok", "f") == 3
+
+
+class TestRendering:
+    def test_caret_points_at_column(self):
+        engine = DiagnosticEngine()
+        engine.add_source("demo.maya", "int x = true;\n")
+        diag = Diagnostic("cannot initialize int x with boolean",
+                          phase="check",
+                          span=SourceSpan("demo.maya", 1, 9, 4))
+        rendered = engine.render(diag)
+        assert rendered.splitlines() == [
+            "demo.maya:1:9: [check] error: "
+            "cannot initialize int x with boolean",
+            "  | int x = true;",
+            "  |         ^~~~",
+        ]
+
+    def test_notes_and_backtrace_render(self):
+        diag = Diagnostic("boom", phase="expand",
+                          notes=["while compiling A.f"],
+                          backtrace=["ext.M at demo.maya:1:1"])
+        rendered = diag.render()
+        assert "  note: while compiling A.f" in rendered
+        assert "  in expansion of ext.M at demo.maya:1:1" in rendered
+
+    def test_compile_failed_render_has_carets(self):
+        with pytest.raises(CompileFailed) as exc:
+            compile_source(THREE_BAD_METHODS)
+        rendered = exc.value.render()
+        assert "int x = true;" in rendered
+        assert "^" in rendered
+
+
+class _SelfRecursive(Mayan):
+    result = "Statement"
+    pattern = "boom Statement body"
+    TEMPLATE = Template("Statement", "boom $b", b="Statement")
+
+    def run(self, env):
+        env.add_production("Statement", "boom Statement")
+        super().run(env)
+
+    def expand(self, ctx, body):
+        return ctx.instantiate(self.TEMPLATE, b=body)
+
+
+class _Buggy(Mayan):
+    result = "Statement"
+    pattern = "crash Statement body"
+
+    def run(self, env):
+        env.add_production("Statement", "crash Statement")
+        super().run(env)
+
+    def expand(self, ctx, body):
+        return 1 // 0
+
+
+BOMB_SOURCE = """class Demo {
+    static void main() {
+        use ext.Bomb;
+        boom System.out.println("x");
+    }
+}"""
+
+
+class TestExpansionGuardRails:
+    def test_self_recursive_mayan_trips_fuel(self):
+        """The acceptance case: a located 'expansion too deep' error
+        showing the Mayan chain — never a Python RecursionError."""
+        compiler = make_compiler()
+        compiler.provide("ext.Bomb", _SelfRecursive())
+        with pytest.raises(ExpansionTooDeepError) as exc:
+            compiler.compile(BOMB_SOURCE, "bomb.maya")
+        diag = exc.value.diagnostic
+        assert "expansion too deep" in diag.message
+        assert diag.span.filename == "bomb.maya"
+        assert diag.span.line == 4
+        assert any("ext.Bomb" in entry for entry in diag.backtrace)
+        rendered = compiler.env.diag.render(diag)
+        assert "in expansion of ext.Bomb" in rendered
+
+    def test_fuel_flag_lowers_depth_budget(self):
+        compiler = make_compiler()
+        compiler.env.diag.max_expansion_depth = 4
+        compiler.provide("ext.Bomb", _SelfRecursive())
+        with pytest.raises(ExpansionTooDeepError) as exc:
+            compiler.compile(BOMB_SOURCE, "bomb.maya")
+        assert "fuel budget of 4" in str(exc.value)
+
+    def test_python_error_in_mayan_is_located_diagnostic(self):
+        compiler = make_compiler()
+        compiler.provide("ext.Crash", _Buggy())
+        with pytest.raises(MayanExpansionError) as exc:
+            compiler.compile("""class Demo {
+    static void main() {
+        use ext.Crash;
+        crash System.out.println("x");
+    }
+}""", "crash.maya")
+        diag = exc.value.diagnostic
+        assert "ext.Crash" in diag.message
+        assert "ZeroDivisionError" in diag.message
+        assert diag.span.filename == "crash.maya"
+        assert diag.span.line == 4
+        assert isinstance(exc.value.__cause__, ZeroDivisionError)
+
+
+class TestInterpreterBudgets:
+    RECURSIVE = """class Demo {
+    static int loop(int n) { return loop(n + 1); }
+    static void spin() { while (true) { int x = 1; } }
+}"""
+
+    def test_runaway_recursion_raises_java_stack_overflow(self):
+        program = compile_source(self.RECURSIVE)
+        interp = Interpreter(program)
+        with pytest.raises(JavaStackOverflow) as exc:
+            interp.run_static("Demo", "loop", [0])
+        assert "call depth" in str(exc.value)
+
+    def test_depth_budget_configurable(self):
+        program = compile_source(self.RECURSIVE)
+        interp = Interpreter(program, max_call_depth=10)
+        with pytest.raises(JavaStackOverflow) as exc:
+            interp.run_static("Demo", "loop", [0])
+        assert "10" in str(exc.value)
+
+    def test_infinite_loop_trips_step_budget(self):
+        program = compile_source(self.RECURSIVE)
+        interp = Interpreter(program, max_steps=5000)
+        with pytest.raises(StepLimitExceeded):
+            interp.run_static("Demo", "spin")
+
+    def test_no_step_budget_by_default(self):
+        program = compile_source("""class Demo {
+    static int count() {
+        int total = 0;
+        for (int i = 0; i < 100; i++) total = total + 1;
+        return total;
+    }
+}""")
+        interp = Interpreter(program)
+        assert interp.run_static("Demo", "count") == 100
+
+    def test_legitimate_recursion_within_budget(self):
+        program = compile_source("""class Demo {
+    static int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+}""")
+        interp = Interpreter(program)
+        assert interp.run_static("Demo", "fib", [12]) == 144

@@ -1,5 +1,11 @@
 """Error paths across the stack: diagnostics should be located,
-specific, and raised at the right phase."""
+specific, and raised at the right phase.
+
+Every deliberate compile-time failure now carries a structured
+Diagnostic; these tests assert on the *rendered* text — the
+``file:line:col: [phase]`` head every consumer (mayac, embedders)
+sees — rather than only on exception types.
+"""
 
 import pytest
 
@@ -11,29 +17,50 @@ from repro.typecheck import CheckError
 from tests.conftest import compile_source, run_main
 
 
+def rendered(exc_info) -> str:
+    """The diagnostic of a raised compiler error, rendered."""
+    return exc_info.value.diagnostic.render()
+
+
 class TestLexErrors:
     def test_location_in_message(self):
         with pytest.raises(LexError) as exc:
             compile_source("class A {\n  int x = `;\n}")
         assert ":2:" in str(exc.value)
+        assert "<string>:2:" in rendered(exc)
+        assert "[lex]" in rendered(exc)
+
+    def test_unbalanced_braces_points_at_opener(self):
+        with pytest.raises(LexError) as exc:
+            compile_source("class A { void f() { }")
+        text = rendered(exc)
+        assert "unexpected end of file" in text
+        # The lone '}' closes the method body; the *class* brace at
+        # column 9 is the unclosed one, and the diagnostic points at
+        # that opening brace, not at EOF.
+        assert "unclosed '{' opened at 1:9" in text
+        assert "<string>:1:9: [lex]" in text
 
 
 class TestParseErrors:
     def test_member_level_error(self):
-        with pytest.raises(ParseError):
+        with pytest.raises(ParseError) as exc:
             compile_source("class A { int int; }")
+        text = rendered(exc)
+        assert "[parse]" in text
+        assert "<string>:1:15" in text
 
     def test_statement_level_error(self):
-        with pytest.raises(ParseError):
+        with pytest.raises(ParseError) as exc:
             compile_source("class A { void f() { if; } }")
+        assert "[parse]" in rendered(exc)
 
     def test_expression_error_inside_condition(self):
-        with pytest.raises(ParseError):
+        with pytest.raises(ParseError) as exc:
             compile_source("class A { void f() { while (1 +) f(); } }")
-
-    def test_unbalanced_braces_is_lex_error(self):
-        with pytest.raises(LexError):
-            compile_source("class A { void f() { }")
+        text = rendered(exc)
+        assert "[parse]" in text
+        assert "expected one of" in text
 
 
 class TestCheckErrors:
@@ -43,30 +70,51 @@ class TestCheckErrors:
                 class A { void f() { nosuch(); } }
             """)
         assert "nosuch" in str(exc.value)
+        assert "[check]" in rendered(exc)
 
     def test_duplicate_flag_on_wrong_arity(self):
-        with pytest.raises(CheckError):
+        with pytest.raises(CheckError) as exc:
             compile_source("""
                 class A {
                     int f(int a) { return a; }
                     void g() { f(1, 2); }
                 }
             """)
+        assert "<string>:4: " not in rendered(exc)  # full line:col head
+        assert "[check]" in rendered(exc)
 
     def test_void_in_expression_position(self):
-        with pytest.raises(CheckError):
+        with pytest.raises(CheckError) as exc:
             compile_source("""
                 class A {
                     void v() { }
                     void g() { int x = v(); }
                 }
             """)
+        assert "[check]" in rendered(exc)
 
     def test_unknown_field(self):
-        with pytest.raises(CheckError):
+        with pytest.raises(CheckError) as exc:
             compile_source("""
                 class A { int f() { return this.nothere; } }
             """)
+        text = rendered(exc)
+        assert "[check]" in text
+        assert "<string>:2:" in text
+
+    def test_rendered_diagnostic_shows_source_line(self):
+        """Compiling through mayac registers the source, so the engine
+        can render the offending line with a caret."""
+        from repro.diag import CompileFailed
+        from tests.conftest import make_compiler
+
+        compiler = make_compiler()
+        with pytest.raises(CheckError) as exc:
+            compiler.compile("class A { void f() { nosuch(); } }",
+                             "app.maya")
+        text = compiler.env.diag.render(exc.value.diagnostic)
+        assert "app.maya:1:22: [check]" in text
+        assert "  | class A { void f() { nosuch(); } }" in text
 
 
 class TestRuntimeErrors:
@@ -121,7 +169,7 @@ class TestMultiJavaErrors:
     def test_super_without_next_method(self):
         """A super send in the least-specific multimethod has no next
         applicable method."""
-        with pytest.raises(MultiJavaError):
+        with pytest.raises(MultiJavaError) as exc:
             compile_source("""
                 use multijava.MultiJava;
                 class C { }
@@ -134,13 +182,15 @@ class TestMultiJavaErrors:
                     static void main() { new Host().m(new C()); }
                 }
             """, multijava=True)
+        assert "[check]" in rendered(exc)
 
     def test_unknown_receiver_class(self):
-        with pytest.raises(MultiJavaError):
+        with pytest.raises(MultiJavaError) as exc:
             compile_source("""
                 use multijava.MultiJava;
                 int NoSuch.m() { return 0; }
             """, multijava=True)
+        assert "[check]" in rendered(exc)
 
 
 class TestHygieneBreakIsDeliberate:

@@ -43,6 +43,40 @@ class TestCli:
         assert main([str(bad)]) == 1
         assert "mayac:" in capsys.readouterr().err
 
+    def test_diagnostics_rendered_with_carets(self, tmp_path, capsys):
+        bad = tmp_path / "bad.maya"
+        bad.write_text("""class Broken {
+    int a() { int x = true; return x; }
+    int b() { return "nope"; }
+}""")
+        assert main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert f"{bad}:2:15: [check] error:" in err
+        assert f"{bad}:3:15: [check] error:" in err
+        assert "  |     int a() { int x = true; return x; }" in err
+        assert "^" in err
+        assert "mayac: 2 errors" in err
+
+    def test_max_errors_flag(self, tmp_path, capsys):
+        bad = tmp_path / "bad.maya"
+        bad.write_text("""class Broken {
+    int a() { int x = true; return x; }
+    int b() { return "nope"; }
+    void c() { nosuch(); }
+}""")
+        assert main([str(bad), "--max-errors", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "mayac: 1 error" in err
+        assert ":3:" not in err
+
+    def test_fuel_flag(self, tmp_path, capsys):
+        # --fuel is plumbed into the engine's expansion depth budget;
+        # an absurdly low budget trips even the macro library's modest
+        # expansions... but a plain class uses none, so it compiles.
+        good = tmp_path / "ok.maya"
+        good.write_text("class Ok { }")
+        assert main([str(good), "--fuel", "1"]) == 0
+
     def test_use_option(self, tmp_path, capsys):
         source = tmp_path / "app.maya"
         source.write_text("""
