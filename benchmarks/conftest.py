@@ -3,8 +3,16 @@
 Every benchmark regenerates a paper artifact (see DESIGN.md's
 experiment index) and prints the rows it reproduces, so EXPERIMENTS.md
 can quote them; pytest-benchmark adds the timing table.
+
+Results are additionally written as machine-readable JSON: every
+``report``/``record_metric`` call lands in ``BENCH_<area>.json`` at the
+repository root (area = the calling ``bench_<area>.py`` file), so the
+performance trajectory is tracked across PRs instead of living only in
+scrollback.
 """
 
+import atexit
+import json
 import sys
 from pathlib import Path
 
@@ -14,6 +22,11 @@ from repro import MayaCompiler
 from repro.interp import Interpreter
 from repro.macros import install_macro_library
 from repro.multijava import install_multijava
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# area -> {"reports": {title: rows}, "metrics": {name: {...}}}
+_RESULTS = {}
 
 
 def make_compiler(macros: bool = False, multijava: bool = False) -> MayaCompiler:
@@ -33,10 +46,44 @@ def compile_and_run(source: str, cls: str = "Demo", macros: bool = False,
     return interp
 
 
-def report(title: str, rows, header=None) -> None:
+def _caller_area(depth: int = 2) -> str:
+    """The bench area of the calling module: bench_<area>.py -> <area>."""
+    filename = Path(sys._getframe(depth).f_code.co_filename).stem
+    if filename.startswith("bench_"):
+        return filename[len("bench_"):]
+    return filename
+
+
+def _area_results(area: str) -> dict:
+    return _RESULTS.setdefault(area, {"reports": {}, "metrics": {}})
+
+
+def report(title: str, rows, header=None, area: str = None) -> None:
     print()
     print(f"== {title} ==")
     if header:
         print("  " + " | ".join(str(h) for h in header))
     for row in rows:
         print("  " + " | ".join(str(cell) for cell in row))
+    entry = {"rows": [[str(cell) for cell in row] for row in rows]}
+    if header:
+        entry["header"] = [str(h) for h in header]
+    _area_results(area or _caller_area())["reports"][title] = entry
+
+
+def record_metric(name: str, value, unit: str = "", area: str = None) -> None:
+    """Record one machine-readable number for BENCH_<area>.json."""
+    _area_results(area or _caller_area())["metrics"][name] = {
+        "value": value,
+        "unit": unit,
+    }
+
+
+@atexit.register
+def _flush_results() -> None:
+    for area, payload in _RESULTS.items():
+        path = _REPO_ROOT / f"BENCH_{area}.json"
+        try:
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        except OSError:
+            pass

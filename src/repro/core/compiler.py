@@ -20,6 +20,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, List, Optional
 
+from repro import perf
 from repro.ast import nodes as n
 from repro.ast import to_source
 from repro.diag import CompileFailed, DiagnosticError
@@ -101,21 +102,25 @@ class MayaCompiler:
         ctx = CompileContext(unit_env)
 
         try:
-            tokens = stream_lex(source, filename)
-            unit = parse_compilation_unit(ctx, tokens)
+            with perf.phase("lex"):
+                tokens = stream_lex(source, filename)
+            with perf.phase("parse+expand"):
+                unit = parse_compilation_unit(ctx, tokens)
             self.program.units.append(unit)
 
             type_decls = [
                 decl for decl in unit.types
                 if isinstance(decl, (n.ClassDecl, n.InterfaceDecl))
             ]
-            compiled = self._shape(type_decls, unit_env)
+            with perf.phase("shape"):
+                compiled = self._shape(type_decls, unit_env)
             for hook in unit_env.unit_hooks:
                 hook(self.program, unit, unit_env)
             # Parse/shape errors poison downstream phases wholesale, so
             # report what was collected before compiling bodies.
             self._raise_pending(engine, mark)
-            self._compile_bodies(compiled, unit_env)
+            with perf.phase("bodies+check"):
+                self._compile_bodies(compiled, unit_env)
         except CompileFailed:
             raise
         except DiagnosticError as error:

@@ -67,6 +67,11 @@ class CompileEnv:
             # the root's, so every phase reports into the same stream.
             self.diag = DiagnosticEngine()
         self.parent = parent
+        # Per-env table memo: skips even the fingerprint/cache lookup
+        # while the grammar version is unchanged (the common case —
+        # drivers refresh tables between every top-level element).
+        self._tables: Optional[ParseTables] = None
+        self._tables_version = -1
 
     # -- scoping ------------------------------------------------------------
 
@@ -77,7 +82,11 @@ class CompileEnv:
 
     def tables(self) -> ParseTables:
         """Current parse tables (regenerated when the grammar grows)."""
-        return tables_for(self.grammar)
+        grammar = self.grammar
+        if self._tables is None or self._tables_version != grammar.version:
+            self._tables = tables_for(grammar)
+            self._tables_version = grammar.version
+        return self._tables
 
     def add_production(self, result: str, pattern: str,
                        tag: Optional[str] = None) -> Production:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import perf
 from repro.diag import (
     DEFAULT_EXPANSION_DEPTH,
     DEFAULT_MAYAN_REENTRY,
@@ -37,6 +38,9 @@ from repro.dispatch.specializers import (
     compare_params,
     match_params,
 )
+
+_PLAN_STATS = perf.cache_stats("dispatch.plans")
+_ORDER_STATS = perf.cache_stats("dispatch.orders")
 
 
 class DispatchError(DiagnosticError):
@@ -99,6 +103,36 @@ class MayanExpansionError(DispatchError):
         )
 
 
+class _DispatchPlan:
+    """Per-(dispatcher scope, production) precomputed dispatch data.
+
+    ``candidates`` is the import-ordered Mayan chain visible from this
+    scope, frozen at plan-build time; ``orders`` caches the outcome of
+    the O(n²) specificity ordering keyed by which candidates matched
+    (a bitmask) plus the type-registry state the comparison ran under.
+    ``epoch`` ties the plan to the dispatcher tree's import epoch so
+    a later ``import_mayan`` anywhere in the tree invalidates it.
+    """
+
+    __slots__ = ("epoch", "candidates", "orders")
+
+    def __init__(self, epoch: int, candidates: Tuple):
+        self.epoch = epoch
+        self.candidates = candidates
+        self.orders: Dict[Tuple, object] = {}
+
+
+class _AmbiguityRecord:
+    """A cached ambiguous outcome for one applicability mask: the pair
+    of crossing Mayans, re-raised with the current dispatch location."""
+
+    __slots__ = ("mayan_a", "mayan_b")
+
+    def __init__(self, mayan_a, mayan_b):
+        self.mayan_a = mayan_a
+        self.mayan_b = mayan_b
+
+
 class Dispatcher:
     """An import-ordered registry of Mayans, lexically scoped.
 
@@ -112,7 +146,12 @@ class Dispatcher:
         self.parent = parent
         self.root = parent.root if parent is not None else self
         self._chains: Dict[Production, List] = {}
+        self._plans: Dict[Production, _DispatchPlan] = {}
         self.dispatch_count = 0
+        if parent is None:
+            # Import epoch for the whole dispatcher tree: bumped by any
+            # import_mayan so every scope's cached plans go stale.
+            self._epoch = 0
         # Active Mayan activations, rooted once per dispatcher tree so
         # nested ``use`` scopes share one fuel budget.
         self.expansion_stack: List[Tuple[object, Location]] = []
@@ -128,6 +167,7 @@ class Dispatcher:
         if production is None:
             raise DispatchError(f"Mayan {mayan} was not attached to a production")
         self._chains.setdefault(production, []).append(mayan)
+        self.root._epoch += 1
 
     def mayans_for(self, production: Production) -> List:
         """All imported Mayans for a production, outermost scope first."""
@@ -140,20 +180,52 @@ class Dispatcher:
 
     # -- selection ------------------------------------------------------------
 
+    def plan_for(self, production: Production) -> _DispatchPlan:
+        """The current dispatch plan for a production in this scope."""
+        root = self.root
+        plan = self._plans.get(production)
+        if plan is None or plan.epoch != root._epoch:
+            plan = _DispatchPlan(root._epoch, tuple(self.mayans_for(production)))
+            self._plans[production] = plan
+            _PLAN_STATS.miss()
+        else:
+            _PLAN_STATS.hit()
+        return plan
+
     def dispatch(self, production: Production, values: List[object],
                  location: Location, ctx) -> object:
         """Run the most applicable semantic action for a reduction."""
         self.dispatch_count += 1
         if self.root is not self:
             self.root.dispatch_count += 1
-        candidates = self.mayans_for(production)
-        applicable: List[Tuple[object, Dict[str, object]]] = []
-        for mayan in candidates:
+        plan = self.plan_for(production)
+
+        if not plan.candidates:
+            # Fast path: no Mayans imported on this production anywhere
+            # in scope — go straight to the built-in action with no
+            # list/closure allocation and no specificity work.
+            base = self.base_actions.get(production)
+            if base is not None:
+                return base(ctx, values, location)
+            raise NoApplicableMayanError(
+                f"{location}: no semantic action applies to [{production}]"
+            )
+
+        candidates = plan.candidates
+        mask = 0
+        bindings_at: List[Optional[Dict[str, object]]] = []
+        for position, mayan in enumerate(candidates):
             bindings: Dict[str, object] = {}
             if match_params(mayan.params, values, ctx, bindings):
-                applicable.append((mayan, bindings))
+                mask |= 1 << position
+                bindings_at.append(bindings)
+            else:
+                bindings_at.append(None)
 
-        chain = _order_chain(applicable, ctx, production, location)
+        order = self._ordered_positions(plan, mask, bindings_at, ctx,
+                                        production, location)
+        chain = [(candidates[position], bindings_at[position])
+                 for position in order]
 
         base = self.base_actions.get(production)
         stack = self.root.expansion_stack
@@ -190,6 +262,44 @@ class Dispatcher:
             )
 
         return run(0)
+
+    def _ordered_positions(self, plan: _DispatchPlan, mask: int,
+                           bindings_at, ctx, production: Production,
+                           location: Location) -> Tuple[int, ...]:
+        """Candidate positions, most-specific first, via the order cache.
+
+        For a fixed applicable subset (the mask) the specificity partial
+        order cannot change unless the type registry learns new classes,
+        so the ordering — including an ambiguous outcome — is cached per
+        (mask, registry state) and dispatch degenerates to matching plus
+        one dict lookup.
+        """
+        registry = getattr(ctx, "registry", None)
+        order_key = (mask, getattr(registry, "uid", None),
+                     getattr(registry, "version", None))
+        cached = plan.orders.get(order_key)
+        if cached is None:
+            _ORDER_STATS.miss()
+            applicable = [
+                (position, plan.candidates[position], bindings_at[position])
+                for position in range(len(plan.candidates))
+                if mask >> position & 1
+            ]
+            try:
+                cached = _order_chain(applicable, ctx, production, location)
+            except AmbiguousDispatchError as error:
+                plan.orders[order_key] = _AmbiguityRecord(
+                    error.mayan_a, error.mayan_b
+                )
+                raise
+            plan.orders[order_key] = cached
+        else:
+            _ORDER_STATS.hit()
+            if isinstance(cached, _AmbiguityRecord):
+                raise _ambiguity_error(
+                    location, production, cached.mayan_a, cached.mayan_b
+                )
+        return cached
 
     @staticmethod
     def _check_fuel(mayan, location: Location, stack,
@@ -239,46 +349,55 @@ def _chain_entries(stack, limit: int = 12) -> List[str]:
     return entries
 
 
-def _order_chain(applicable, env, production, location):
+def _ambiguity_error(location, production, mayan_a, mayan_b):
+    error = AmbiguousDispatchError(
+        f"{location}: ambiguous Mayans on [{production}]: "
+        f"{mayan_a} vs {mayan_b} are each more specific on "
+        f"different arguments"
+    )
+    error.mayan_a = mayan_a
+    error.mayan_b = mayan_b
+    return error
+
+
+def _order_chain(applicable, env, production, location) -> Tuple[int, ...]:
     """Sort applicable Mayans most-specific first.
 
+    ``applicable`` holds (candidate position, mayan, bindings) triples
+    in import order; the result is the tuple of positions to invoke.
     Selection repeatedly extracts the maximal element; within a maximal
     *equal* group the latest import wins; a *crossing* pair at the top
     is an ambiguity error.
     """
     remaining = list(applicable)
-    ordered = []
+    ordered: List[int] = []
     while remaining:
         # Find maximal elements: no other strictly more specific.
         maximal = []
-        for index, (mayan, bindings) in enumerate(remaining):
+        for index, (position, mayan, _) in enumerate(remaining):
             dominated = False
-            for other_index, (other, _) in enumerate(remaining):
+            for other_index, (_, other, _) in enumerate(remaining):
                 if other_index == index:
                     continue
                 if _strictly_more_specific(other, mayan, env):
                     dominated = True
                     break
             if not dominated:
-                maximal.append((index, mayan, bindings))
+                maximal.append((position, mayan))
         # Crossing check within the maximal set: any two maximal Mayans
         # that are not equal-specificity are mutually more specific on
         # different arguments.
-        for position, (_, mayan_a, _) in enumerate(maximal):
-            for _, mayan_b, _ in maximal[position + 1:]:
+        for index, (_, mayan_a) in enumerate(maximal):
+            for _, mayan_b in maximal[index + 1:]:
                 if not _equally_specific(mayan_a, mayan_b, env):
-                    raise AmbiguousDispatchError(
-                        f"{location}: ambiguous Mayans on [{production}]: "
-                        f"{mayan_a} vs {mayan_b} are each more specific on "
-                        f"different arguments"
-                    )
-        # Equal group: later import (higher original index) first.
+                    raise _ambiguity_error(location, production,
+                                           mayan_a, mayan_b)
+        # Equal group: later import (higher position) first.
         maximal.sort(key=lambda entry: entry[0], reverse=True)
-        for index, mayan, bindings in maximal:
-            ordered.append((mayan, bindings))
-        kept = {id(m) for _, m, _ in maximal}
-        remaining = [entry for entry in remaining if id(entry[0]) not in kept]
-    return ordered
+        ordered.extend(position for position, _ in maximal)
+        kept = {position for position, _ in maximal}
+        remaining = [entry for entry in remaining if entry[0] not in kept]
+    return tuple(ordered)
 
 
 def _strictly_more_specific(a, b, env) -> bool:

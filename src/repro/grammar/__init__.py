@@ -20,6 +20,7 @@ from repro.grammar.grammar import (
     Assoc,
     Grammar,
     GrammarError,
+    GrammarFingerprint,
     Precedence,
     Production,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "Assoc",
     "Grammar",
     "GrammarError",
+    "GrammarFingerprint",
     "LazySym",
     "ListSym",
     "Nonterminal",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import weakref
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.grammar.symbols import (
@@ -68,6 +69,60 @@ class Precedence:
 
 _production_counter = itertools.count()
 _production_registry: Dict[Tuple, "Production"] = {}
+
+
+class GrammarFingerprint:
+    """A grammar-content digest with O(1) hashing and equality.
+
+    The key is built from production *content* (lhs/rhs names and tags),
+    not process-local production indices, so equal grammar content in
+    different processes produces equal fingerprints — that is what makes
+    the on-disk parse-table cache sound.  The hash is computed once, and
+    instances are interned by key (see :meth:`of`), so two grammars with
+    equal content share one fingerprint object and cache lookups keyed
+    on fingerprints compare by identity — O(1) however large the
+    grammar is.
+    """
+
+    __slots__ = ("key", "_hash", "__weakref__")
+
+    def __init__(self, key: Tuple):
+        self.key = key
+        self._hash = hash(key)
+
+    @staticmethod
+    def of(key: Tuple) -> "GrammarFingerprint":
+        """The canonical fingerprint for a key (interned, weakly held)."""
+        fingerprint = _fingerprint_intern.get(key)
+        if fingerprint is None:
+            fingerprint = GrammarFingerprint(key)
+            _fingerprint_intern[key] = fingerprint
+        return fingerprint
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, GrammarFingerprint)
+            and self._hash == other._hash
+            and self.key == other.key
+        )
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __repr__(self) -> str:
+        return f"GrammarFingerprint({self._hash:#x})"
+
+
+#: Weak intern table: entries disappear once no grammar or cache holds
+#: the fingerprint, so a long-lived process growing many grammar
+#: versions does not leak digests.
+_fingerprint_intern: "weakref.WeakValueDictionary[Tuple, GrammarFingerprint]" \
+    = weakref.WeakValueDictionary()
 
 
 class Production:
@@ -163,6 +218,8 @@ class Grammar:
         self.precedence = Precedence()
         self.start_symbols: List[Nonterminal] = []
         self.version = 0
+        self._fingerprint: Optional[GrammarFingerprint] = None
+        self._fingerprint_version = -1
 
     # -- construction ----------------------------------------------------
 
@@ -173,6 +230,9 @@ class Grammar:
         dup.by_lhs = {lhs: list(prods) for lhs, prods in self.by_lhs.items()}
         dup.precedence = self.precedence.copy()
         dup.start_symbols = list(self.start_symbols)
+        dup.version = self.version
+        dup._fingerprint = self._fingerprint
+        dup._fingerprint_version = self._fingerprint_version
         return dup
 
     def declare_start(self, *symbols: Union[str, Nonterminal]) -> None:
@@ -259,14 +319,29 @@ class Grammar:
             self.declare_start(param.content)
         return helper
 
+    def declare_precedence(self, assoc: Assoc, *terminal_names: str) -> None:
+        """Declare a precedence level, bumping the grammar version so
+        cached parse tables built under the old table are invalidated."""
+        self.precedence.declare(assoc, *terminal_names)
+        self.version += 1
+
     # -- queries -----------------------------------------------------------
 
-    def fingerprint(self) -> Tuple:
-        return (
-            tuple(p.index for p in self.productions),
-            tuple(s.name for s in self.start_symbols),
-            self.precedence.snapshot(),
-        )
+    def fingerprint(self) -> GrammarFingerprint:
+        """A content digest of the grammar's current state.
+
+        O(1) after the first computation: the digest is cached and only
+        recomputed when the version counter has moved (add_production,
+        declare_start, declare_precedence).
+        """
+        if self._fingerprint is None or self._fingerprint_version != self.version:
+            self._fingerprint = GrammarFingerprint.of((
+                tuple(p.key() for p in self.productions),
+                tuple(s.name for s in self.start_symbols),
+                self.precedence.snapshot(),
+            ))
+            self._fingerprint_version = self.version
+        return self._fingerprint
 
     def terminals(self) -> List[Terminal]:
         seen: Dict[str, Terminal] = {}

@@ -166,8 +166,8 @@ def _build() -> Grammar:
         return production
 
     # -- precedence (dangling else only) ---------------------------------
-    grammar.precedence.declare(Assoc.NONASSOC, "if")
-    grammar.precedence.declare(Assoc.NONASSOC, "else")
+    grammar.declare_precedence(Assoc.NONASSOC, "if")
+    grammar.declare_precedence(Assoc.NONASSOC, "else")
 
     # ======================================================================
     # Names and types

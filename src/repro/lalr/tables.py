@@ -9,9 +9,14 @@ conflicts" instead of applying YACC's default resolutions.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.grammar import Assoc, Grammar, Production
+from repro import perf
+from repro.grammar import Assoc, Grammar, GrammarFingerprint, Production
 from repro.lalr.automaton import DOT_STRIDE, Automaton, item, item_parts
 from repro.lalr.encoded import EOF, PROBE, EncodedGrammar
 
@@ -33,15 +38,43 @@ ACCEPT = "a"
 
 
 class ParseTables:
-    """Generated ACTION/GOTO tables plus grammar metadata."""
+    """Generated ACTION/GOTO tables plus grammar metadata.
 
-    def __init__(self, grammar: Grammar):
+    ``snapshot``/``from_snapshot`` round-trip the derived tables through
+    plain picklable data: the symbol/production encoding is rebuilt
+    deterministically from the grammar (cheap), while the expensive
+    automaton + lookahead computation is replaced by the stored ACTION/
+    GOTO tables.  Restoring is only sound for a grammar whose
+    fingerprint matches the one the snapshot was taken under.
+    """
+
+    def __init__(self, grammar: Grammar, _snapshot: Optional[dict] = None):
         self.grammar = grammar
         self.encoded = EncodedGrammar(grammar)
-        self.automaton = Automaton(self.encoded)
-        self.action: List[Dict[int, Tuple[str, int]]] = []
-        self.goto: List[Dict[int, int]] = []
-        self._build()
+        if _snapshot is None:
+            self.automaton = Automaton(self.encoded)
+            self.action: List[Dict[int, Tuple[str, int]]] = []
+            self.goto: List[Dict[int, int]] = []
+            self._build()
+        else:
+            self.automaton = _RestoredAutomaton(
+                _snapshot["start_state"], _snapshot["state_count"]
+            )
+            self.action = _snapshot["action"]
+            self.goto = _snapshot["goto"]
+
+    def snapshot(self) -> dict:
+        """Picklable derived data for the on-disk table cache."""
+        return {
+            "start_state": dict(self.automaton.start_state),
+            "state_count": len(self.automaton.states),
+            "action": self.action,
+            "goto": self.goto,
+        }
+
+    @classmethod
+    def from_snapshot(cls, grammar: Grammar, snapshot: dict) -> "ParseTables":
+        return cls(grammar, _snapshot=snapshot)
 
     # -- public API --------------------------------------------------------
 
@@ -260,7 +293,131 @@ class ParseTables:
         return lookaheads
 
 
-_TABLE_CACHE: Dict[Tuple, ParseTables] = {}
+class _RestoredAutomaton:
+    """Stand-in for an Automaton rebuilt from a table snapshot: enough
+    for the parser (start states) and for introspection (state count),
+    without re-running LR(0) construction."""
+
+    def __init__(self, start_state: Dict[int, int], state_count: int):
+        self.start_state = start_state
+        self.states = range(state_count)
+        self.transitions: List[Dict[int, int]] = []
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Lookups and stores feed the named :class:`repro.perf.CacheStats`,
+    so hit rates and eviction pressure show up in ``mayac --profile``.
+    """
+
+    def __init__(self, maxsize: int, stats: perf.CacheStats):
+        self.maxsize = maxsize
+        self.stats = stats
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is None:
+            self.stats.miss()
+            return None
+        self._data.move_to_end(key)
+        self.stats.hit()
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.stats.evict()
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+
+#: In-memory table cache.  Mid-compile grammar extension makes a new
+#: fingerprint per ``use`` scope, so a long-running compiler would
+#: otherwise accumulate one full table set per extension ever seen;
+#: the LRU bound caps that at the working set.
+TABLE_CACHE_SIZE = 32
+_TABLE_CACHE = LRUCache(TABLE_CACHE_SIZE, perf.cache_stats("lalr.tables"))
+
+#: Opt-in on-disk cache directory (``mayac --table-cache`` or the
+#: MAYA_TABLE_CACHE environment variable).  Cold-starting mayac skips
+#: full LALR generation for any grammar already seen on this machine —
+#: in particular the base Java grammar.
+_DISK_CACHE_DIR: Optional[str] = os.environ.get("MAYA_TABLE_CACHE") or None
+
+_SNAPSHOT_FORMAT = 1
+
+
+def enable_disk_cache(path: Optional[str]) -> None:
+    """Point the persistent table cache at ``path`` (None disables)."""
+    global _DISK_CACHE_DIR
+    _DISK_CACHE_DIR = path
+
+
+def disable_disk_cache() -> None:
+    enable_disk_cache(None)
+
+
+def table_cache_clear() -> None:
+    """Drop all in-memory cached tables (tests and benchmarks)."""
+    _TABLE_CACHE.clear()
+
+
+def _disk_path(fingerprint: GrammarFingerprint) -> str:
+    digest = hashlib.sha256(repr(fingerprint.key).encode()).hexdigest()
+    return os.path.join(_DISK_CACHE_DIR, f"tables-{digest[:32]}.pickle")
+
+
+def _disk_load(grammar: Grammar, fingerprint: GrammarFingerprint):
+    if _DISK_CACHE_DIR is None:
+        return None
+    stats = perf.cache_stats("lalr.tables.disk")
+    try:
+        with open(_disk_path(fingerprint), "rb") as handle:
+            payload = pickle.load(handle)
+        if (payload.get("format") != _SNAPSHOT_FORMAT
+                or payload.get("key") != fingerprint.key):
+            stats.miss()
+            return None
+        tables = ParseTables.from_snapshot(grammar, payload["snapshot"])
+    except Exception:
+        # A stale, truncated, or unreadable cache entry is never an
+        # error — fall back to generating the tables.
+        stats.miss()
+        return None
+    stats.hit()
+    return tables
+
+
+def _disk_store(tables: ParseTables, fingerprint: GrammarFingerprint) -> None:
+    if _DISK_CACHE_DIR is None:
+        return
+    path = _disk_path(fingerprint)
+    if os.path.exists(path):
+        return
+    payload = {
+        "format": _SNAPSHOT_FORMAT,
+        "key": fingerprint.key,
+        "snapshot": tables.snapshot(),
+    }
+    try:
+        os.makedirs(_DISK_CACHE_DIR, exist_ok=True)
+        scratch = f"{path}.{os.getpid()}.tmp"
+        with open(scratch, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(scratch, path)  # atomic: readers never see a partial file
+    except OSError:
+        pass
 
 
 def build_tables(grammar: Grammar) -> ParseTables:
@@ -269,10 +426,21 @@ def build_tables(grammar: Grammar) -> ParseTables:
 
 
 def tables_for(grammar: Grammar) -> ParseTables:
-    """Build or fetch cached tables for the grammar's current state."""
-    key = grammar.fingerprint()
-    tables = _TABLE_CACHE.get(key)
+    """Build or fetch cached tables for the grammar's current state.
+
+    The fingerprint is O(1) (version-cached on the grammar) and hashes
+    in O(1), so the cached-lookup path does constant work regardless of
+    grammar size.  Keying by *content* rather than grammar identity
+    means every CompileEnv sharing the base grammar shares one table
+    set.
+    """
+    fingerprint = grammar.fingerprint()
+    tables = _TABLE_CACHE.get(fingerprint)
     if tables is None:
-        tables = ParseTables(grammar)
-        _TABLE_CACHE[key] = tables
+        tables = _disk_load(grammar, fingerprint)
+        if tables is None:
+            with perf.phase("lalr.generate"):
+                tables = ParseTables(grammar)
+            _disk_store(tables, fingerprint)
+        _TABLE_CACHE.put(fingerprint, tables)
     return tables

@@ -11,6 +11,11 @@ Options:
     --multijava       register the MultiJava extension
     --max-errors N    stop collecting after N errors (default 20)
     --fuel N          Mayan expansion depth budget (default 64)
+    --profile         print per-phase timings, dispatch counts, and
+                      cache hit rates to stderr after compiling
+    --table-cache DIR persist generated LALR tables under DIR so later
+                      runs skip table generation (also honours the
+                      MAYA_TABLE_CACHE environment variable)
 
 The macro library is registered by default, so sources can say
 ``use maya.util.ForEach;`` etc.
@@ -26,7 +31,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import MayaCompiler
+from repro import MayaCompiler, perf
 from repro.diag import (
     DEFAULT_EXPANSION_DEPTH,
     DEFAULT_MAX_ERRORS,
@@ -62,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_EXPANSION_DEPTH,
                         help="Mayan expansion depth budget "
                              "(default %(default)s)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print phase timings, dispatch counts, and "
+                             "cache hit rates after compiling")
+    parser.add_argument("--table-cache", metavar="DIR",
+                        help="persist generated LALR tables under DIR")
     return parser
 
 
@@ -84,6 +94,11 @@ def _report(engine, error: BaseException) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.table_cache:
+        from repro.lalr.tables import enable_disk_cache
+
+        enable_disk_cache(args.table_cache)
+    profiler = perf.activate(perf.Profiler()) if args.profile else None
     compiler = MayaCompiler()
     engine = compiler.env.diag
     engine.max_errors = max(1, args.max_errors)
@@ -95,6 +110,13 @@ def main(argv=None) -> int:
     for name in args.use:
         compiler.use(name)
 
+    def finish(code: int) -> int:
+        if profiler is not None:
+            print(profiler.render(dispatcher=compiler.env.dispatcher),
+                  file=sys.stderr)
+            perf.deactivate()
+        return code
+
     program = None
     for path in args.files:
         try:
@@ -103,12 +125,12 @@ def main(argv=None) -> int:
         except OSError as error:
             print(f"mayac: cannot read {path}: {error.strerror}",
                   file=sys.stderr)
-            return 1
+            return finish(1)
         try:
             program = compiler.compile(source, path)
         except Exception as error:  # surface compile errors cleanly
             _report(engine, error)
-            return 1
+            return finish(1)
 
     if args.expand and program is not None:
         print(program.source())
@@ -119,11 +141,11 @@ def main(argv=None) -> int:
             interp.run_static(args.run)
         except DiagnosticError as error:
             print(engine.render(error.diagnostic), file=sys.stderr)
-            return 2
+            return finish(2)
         except Exception as error:
             print(f"mayac: runtime error: {error}", file=sys.stderr)
-            return 2
-    return 0
+            return finish(2)
+    return finish(0)
 
 
 if __name__ == "__main__":

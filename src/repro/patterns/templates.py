@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import perf
 from repro.diag import DiagnosticError
 from repro.ast import nodes as n
 from repro.grammar import Symbol
@@ -37,6 +38,10 @@ class TemplateError(DiagnosticError):
     """A template was misused (bad hole value, missing binding, ...)."""
 
     phase = "expand"
+
+
+_TEMPLATE_STATS = perf.cache_stats("templates.compiled")
+_CASE_STATS = perf.cache_stats("templates.syntax_case")
 
 
 class PseudoToken:
@@ -82,12 +87,16 @@ class Template:
     def compiled(self, env) -> "_CompiledTemplate":
         # Keyed by grammar *and* registry: referential transparency
         # resolves type names against the registry, and type identity
-        # is per registry.
+        # is per registry.  The fingerprint is the grammar's version-
+        # cached digest, so this lookup is O(1) per instantiation.
         key = (env.grammar.fingerprint(), env.registry.uid)
         compiled = self._compiled.get(key)
         if compiled is None:
+            _TEMPLATE_STATS.miss()
             compiled = _CompiledTemplate(self, env)
             self._compiled[key] = compiled
+        else:
+            _TEMPLATE_STATS.hit()
         return compiled
 
     def instantiate(self, ctx, **values):
@@ -260,14 +269,20 @@ def syntax_case(ctx, result: str, node, cases):
 
     env = ctx.env
     tables = tables_for(env.grammar)
+    # One version-cached fingerprint for the whole case list (it used
+    # to be recomputed — O(grammar) — per case, per invocation).
+    fingerprint = env.grammar.fingerprint()
     for pattern, body in cases:
         if pattern is None:
             return body()
-        key = (env.grammar.fingerprint(), result, pattern)
+        key = (fingerprint, result, pattern)
         compiled = _case_cache.get(key)
         if compiled is None:
+            _CASE_STATS.miss()
             compiled = compile_parameter_list(tables, result, pattern)
             _case_cache[key] = compiled
+        else:
+            _CASE_STATS.hit()
         production, params, _ = compiled
         if node.syntax is None or node.syntax[0] is not production:
             continue

@@ -1,0 +1,166 @@
+"""Performance instrumentation: cache statistics and phase profiling.
+
+Every cache in the compiler (parse tables, dispatch plans, template
+compilations, ...) registers a named :class:`CacheStats` here, so hit
+rates are observable in one place — ``mayac --profile`` renders them
+after a compile.  A :class:`Profiler` additionally collects wall-clock
+time per compiler phase while one is active; when no profiler is
+active, ``phase()`` is a no-op context manager so the hot paths pay
+nothing beyond a module-attribute check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one named cache."""
+
+    __slots__ = ("name", "hits", "misses", "evictions", "invalidations")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def hit(self) -> None:
+        self.hits += 1
+
+    def miss(self) -> None:
+        self.misses += 1
+
+    def evict(self) -> None:
+        self.evictions += 1
+
+    def invalidate(self) -> None:
+        self.invalidations += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (f"CacheStats({self.name}: {self.hits}h/{self.misses}m, "
+                f"{self.hit_rate:.1%})")
+
+
+_CACHES: Dict[str, CacheStats] = {}
+
+
+def cache_stats(name: str) -> CacheStats:
+    """The (process-wide) stats object for a named cache."""
+    stats = _CACHES.get(name)
+    if stats is None:
+        stats = _CACHES[name] = CacheStats(name)
+    return stats
+
+
+def all_cache_stats() -> List[CacheStats]:
+    return [_CACHES[name] for name in sorted(_CACHES)]
+
+
+def reset_cache_stats() -> None:
+    for stats in _CACHES.values():
+        stats.reset()
+
+
+class Profiler:
+    """Per-phase wall-clock timings plus free-form counters."""
+
+    def __init__(self):
+        self.phase_seconds: Dict[str, float] = {}
+        self.phase_counts: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            self.phase_counts[name] = self.phase_counts.get(name, 0) + 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def render(self, dispatcher=None) -> str:
+        """A human-readable profile report (for ``mayac --profile``)."""
+        lines = ["== mayac profile =="]
+        if self.phase_seconds:
+            lines.append("phase timings:")
+            total = sum(self.phase_seconds.values())
+            for name in sorted(self.phase_seconds,
+                               key=self.phase_seconds.get, reverse=True):
+                seconds = self.phase_seconds[name]
+                lines.append(
+                    f"  {name:<18} {seconds * 1e3:9.2f} ms"
+                    f"  ({self.phase_counts[name]}x)"
+                )
+            lines.append(f"  {'total':<18} {total * 1e3:9.2f} ms")
+        if dispatcher is not None:
+            lines.append(f"dispatch: {dispatcher.dispatch_count} reductions "
+                         f"dispatched")
+        for name in sorted(self.counters):
+            lines.append(f"counter: {name} = {self.counters[name]}")
+        interesting = [s for s in all_cache_stats() if s.lookups or s.evictions]
+        if interesting:
+            lines.append("cache hit rates:")
+            for stats in interesting:
+                lines.append(
+                    f"  {stats.name:<22} {stats.hits:>8} hits "
+                    f"{stats.misses:>6} misses  {stats.hit_rate:6.1%}"
+                    + (f"  ({stats.evictions} evicted)" if stats.evictions
+                       else "")
+                )
+        return "\n".join(lines)
+
+
+#: The currently active profiler, or None (the common case).
+active: Optional[Profiler] = None
+
+
+def activate(profiler: Profiler) -> Profiler:
+    global active
+    active = profiler
+    return profiler
+
+
+def deactivate() -> None:
+    global active
+    active = None
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time a compiler phase under the active profiler, if any."""
+    profiler = active
+    if profiler is None:
+        yield
+    else:
+        with profiler.timed(name):
+            yield

@@ -32,16 +32,22 @@ class TypeRegistry:
     def __init__(self):
         self.classes: Dict[str, ClassType] = {}
         self.uid = next(_registry_uids)
+        # Bumped on every definition: caches of type-dependent decisions
+        # (dispatch specificity orders) key on (uid, version) so a class
+        # declared mid-compile can change subtype-based outcomes.
+        self.version = 0
 
     def copy(self) -> "TypeRegistry":
         dup = TypeRegistry()
         dup.classes = dict(self.classes)
+        dup.version = self.version
         return dup
 
     # -- registration -------------------------------------------------------
 
     def define(self, class_type: ClassType) -> ClassType:
         self.classes[class_type.name] = class_type
+        self.version += 1
         return class_type
 
     def declare(self, name: str, superclass: Optional[str] = None,
