@@ -92,6 +92,12 @@ class Node:
 
     _fields: Tuple[str, ...] = ()
 
+    #: Provenance: the expansion that produced this node (a
+    #: ``repro.trace.Origin``), or None for user-written syntax.  A
+    #: class attribute so ordinary nodes pay nothing; stamped as an
+    #: instance attribute on nodes built during Mayan activations.
+    origin = None
+
     def __init__(self, *args, location: Location = Location.UNKNOWN):
         if len(args) != len(self._fields):
             raise TypeError(

@@ -3,6 +3,10 @@
 Used by tests and examples to display expansions the way the paper's
 listings do.  Lazy nodes are forced if they already have a parse
 environment; otherwise they print as their raw token text.
+
+``provenance=True`` annotates generated *statements* with their origin
+(``/* from <Mayan> @ <use-site> */``), so expanded output shows which
+rewrite produced each line (``mayac --expand --provenance``).
 """
 
 from __future__ import annotations
@@ -14,20 +18,22 @@ from repro.ast import nodes as n
 _INDENT = "    "
 
 
-def to_source(node, indent: int = 0) -> str:
+def to_source(node, indent: int = 0, provenance: bool = False) -> str:
     """Render a node (or statement list) as source text."""
-    return _Unparser(indent).render(node)
+    return _Unparser(indent, provenance).render(node)
 
 
 class _Unparser:
-    def __init__(self, indent: int = 0):
+    def __init__(self, indent: int = 0, provenance: bool = False):
         self.indent = indent
+        self.provenance = provenance
 
     def render(self, node) -> str:
         if node is None:
             return ""
         if isinstance(node, list):
-            return "\n".join(self.render(element) for element in node)
+            return "\n".join(self._with_origin(self.render(element), element)
+                             for element in node)
         method = getattr(self, "_render_" + type(node).__name__, None)
         if method is None:
             for klass in type(node).__mro__:
@@ -38,14 +44,27 @@ class _Unparser:
             raise TypeError(f"cannot unparse {type(node).__name__}")
         return method(node)
 
+    def _with_origin(self, text: str, node) -> str:
+        """Provenance annotation for one statement-list element (only
+        top-of-line statements are annotated, so expressions and inline
+        sub-statements never grow comments mid-line)."""
+        if not self.provenance or not text or not isinstance(node, n.Statement):
+            return text
+        origin = getattr(node, "origin", None)
+        if origin is None:
+            return text
+        head, newline, rest = text.partition("\n")
+        return f"{head}  /* from {origin.brief()} */{newline}{rest}"
+
     # -- helpers -------------------------------------------------------
 
     def _pad(self) -> str:
         return _INDENT * self.indent
 
     def _stmt_block(self, stmts) -> str:
-        inner = _Unparser(self.indent + 1)
-        lines = [inner.render(stmt) for stmt in stmts]
+        inner = _Unparser(self.indent + 1, self.provenance)
+        lines = [inner._with_origin(inner.render(stmt), stmt)
+                 for stmt in stmts]
         body = "\n".join(line for line in lines if line)
         if body:
             return "{\n" + body + "\n" + self._pad() + "}"
@@ -246,7 +265,7 @@ class _Unparser:
             or type(node.metaprogram).__name__
         lines = [self._pad() + f"/* use {name} */"]
         for stmt in node.body:
-            lines.append(self.render(stmt))
+            lines.append(self._with_origin(self.render(stmt), stmt))
         return "\n".join(lines)
 
     def _render_LazyNode(self, node) -> str:

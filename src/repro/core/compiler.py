@@ -20,7 +20,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, List, Optional
 
-from repro import perf
+from repro import perf, trace
 from repro.ast import nodes as n
 from repro.ast import to_source
 from repro.diag import CompileFailed, DiagnosticError
@@ -54,9 +54,11 @@ class CompiledProgram:
         self.units: List[n.CompilationUnit] = []
         self.classes: Dict[str, CompiledClass] = {}
 
-    def source(self) -> str:
-        """Unparse everything (fully expanded syntax)."""
-        return "\n\n".join(to_source(unit) for unit in self.units)
+    def source(self, provenance: bool = False) -> str:
+        """Unparse everything (fully expanded syntax); ``provenance``
+        annotates generated statements with their origin."""
+        return "\n\n".join(to_source(unit, provenance=provenance)
+                           for unit in self.units)
 
     def class_named(self, name: str) -> CompiledClass:
         if name in self.classes:
@@ -102,25 +104,28 @@ class MayaCompiler:
         ctx = CompileContext(unit_env)
 
         try:
-            with perf.phase("lex"):
-                tokens = stream_lex(source, filename)
-            with perf.phase("parse+expand"):
-                unit = parse_compilation_unit(ctx, tokens)
-            self.program.units.append(unit)
+            with trace.span("compile", filename, filename=filename):
+                with perf.phase("lex"), trace.span("phase", "lex"):
+                    tokens = stream_lex(source, filename)
+                with perf.phase("parse+expand"), \
+                        trace.span("phase", "parse+expand"):
+                    unit = parse_compilation_unit(ctx, tokens)
+                self.program.units.append(unit)
 
-            type_decls = [
-                decl for decl in unit.types
-                if isinstance(decl, (n.ClassDecl, n.InterfaceDecl))
-            ]
-            with perf.phase("shape"):
-                compiled = self._shape(type_decls, unit_env)
-            for hook in unit_env.unit_hooks:
-                hook(self.program, unit, unit_env)
-            # Parse/shape errors poison downstream phases wholesale, so
-            # report what was collected before compiling bodies.
-            self._raise_pending(engine, mark)
-            with perf.phase("bodies+check"):
-                self._compile_bodies(compiled, unit_env)
+                type_decls = [
+                    decl for decl in unit.types
+                    if isinstance(decl, (n.ClassDecl, n.InterfaceDecl))
+                ]
+                with perf.phase("shape"), trace.span("phase", "shape"):
+                    compiled = self._shape(type_decls, unit_env)
+                for hook in unit_env.unit_hooks:
+                    hook(self.program, unit, unit_env)
+                # Parse/shape errors poison downstream phases wholesale,
+                # so report what was collected before compiling bodies.
+                self._raise_pending(engine, mark)
+                with perf.phase("bodies+check"), \
+                        trace.span("phase", "bodies+check"):
+                    self._compile_bodies(compiled, unit_env)
         except CompileFailed:
             raise
         except DiagnosticError as error:

@@ -25,6 +25,10 @@ class CompileContext(ParserContext):
     def __init__(self, env: CompileEnv, scope: Optional[Scope] = None):
         self.env = env
         self.scope = scope if scope is not None else Scope(env=env)
+        # The dispatcher tree's provenance stack, cached so reduce()
+        # pays one truthiness check per reduction when no expansion is
+        # active (the common case).
+        self._origins = env.dispatcher.root.origin_stack
 
     # -- derived contexts ------------------------------------------------
 
@@ -48,6 +52,10 @@ class CompileContext(ParserContext):
                 value.scope = self.scope
             if value.location is Location.UNKNOWN:
                 value.location = location
+            # Provenance: anything reduced while a Mayan activation is
+            # live was produced by that expansion.
+            if self._origins and value.origin is None:
+                value.origin = self._origins[-1]
         return value
 
     def parse_subtree(self, tree, content_symbol):

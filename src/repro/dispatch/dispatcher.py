@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro import perf
+from repro import perf, trace
 from repro.diag import (
     DEFAULT_EXPANSION_DEPTH,
     DEFAULT_MAYAN_REENTRY,
@@ -155,6 +155,10 @@ class Dispatcher:
         # Active Mayan activations, rooted once per dispatcher tree so
         # nested ``use`` scopes share one fuel budget.
         self.expansion_stack: List[Tuple[object, Location]] = []
+        # Provenance context, parallel to the expansion stack: the
+        # Origin of the innermost active Mayan activation.  Nodes
+        # reduced while this is non-empty are stamped with its top.
+        self.origin_stack: List[trace.Origin] = []
 
     def child(self) -> "Dispatcher":
         return Dispatcher(self.base_actions, parent=self)
@@ -228,39 +232,77 @@ class Dispatcher:
                  for position in order]
 
         base = self.base_actions.get(production)
-        stack = self.root.expansion_stack
+        root = self.root
+        stack = root.expansion_stack
+        origins = root.origin_stack
         engine = getattr(getattr(ctx, "env", None), "diag", None)
         depth_limit = getattr(engine, "max_expansion_depth",
                               DEFAULT_EXPANSION_DEPTH)
         reentry_limit = getattr(engine, "max_mayan_reentry",
                                 DEFAULT_MAYAN_REENTRY)
+        tracer = trace.active
+        profiler = perf.active
 
         def run(index: int):
             if index < len(chain):
                 mayan, bindings = chain[index]
                 self._check_fuel(mayan, location, stack,
                                  depth_limit, reentry_limit)
+                if profiler is not None:
+                    profiler.count("expansions")
+                    profiler.count(f"expansions[{mayan}]")
+                    profiler.observe("expansion.depth", len(stack) + 1)
+                # One Origin per activation, on the dispatch hot path:
+                # pass the raw Mayan and Location (Origin stringifies /
+                # spans them lazily) and only walk the stack for a use
+                # site when the activation has no source position.
+                site = location if getattr(location, "line", 0) > 0 \
+                    else trace.use_site_span(location, stack)
+                origin = trace.Origin(
+                    mayan, None, site, origins[-1] if origins else None,
+                )
                 stack.append((mayan, location))
+                origins.append(origin)
+                span = tracer.begin(
+                    "expand", str(mayan), mayan=str(mayan),
+                    production=str(production), location=str(location),
+                    depth=len(stack), before=_preview_values(values),
+                ) if tracer is not None else None
                 try:
-                    return mayan.invoke(ctx, bindings, values, location,
-                                        lambda: run(index + 1))
+                    result = mayan.invoke(ctx, bindings, values, location,
+                                          lambda: run(index + 1))
+                    if span is not None:
+                        tracer.end(span, after=_preview(result))
+                    return result
                 except DiagnosticError:
+                    if span is not None:
+                        tracer.end(span, error=True)
                     raise
                 except Exception as error:
                     # A metaprogram bug is still a *compile* error: name
                     # the Mayan and locate the activation instead of
                     # letting a raw Python traceback escape mayac.
+                    if span is not None:
+                        tracer.end(span, error=True)
                     raise MayanExpansionError(
                         mayan, location, error, _chain_entries(stack)
                     ) from error
                 finally:
                     stack.pop()
+                    origins.pop()
             if base is not None:
                 return base(ctx, values, location)
             raise NoApplicableMayanError(
                 f"{location}: no semantic action applies to [{production}]"
             )
 
+        if tracer is not None:
+            with tracer.span("dispatch", str(production),
+                             production=str(production),
+                             location=str(location),
+                             candidates=len(candidates),
+                             applicable=len(chain)):
+                return run(0)
         return run(0)
 
     def _ordered_positions(self, plan: _DispatchPlan, mask: int,
@@ -324,6 +366,29 @@ class Dispatcher:
                 f"itself",
                 _located(location, stack), _chain_entries(stack),
             )
+
+
+def _preview(value, limit: int = 200) -> str:
+    """A one-line unparse of a rewrite result for trace attrs."""
+    try:
+        from repro.ast import nodes as n
+        from repro.ast import to_source
+
+        if isinstance(value, (n.Node, list)):
+            text = to_source(value)
+        elif hasattr(value, "source_text"):
+            text = value.source_text()
+        else:
+            text = str(value)
+    except Exception:
+        text = f"<{type(value).__name__}>"
+    text = " ".join(text.split())
+    return text[:limit] + "..." if len(text) > limit else text
+
+
+def _preview_values(values, limit: int = 200) -> str:
+    """The production's right-hand-side values as one source-ish line."""
+    return " ".join(_preview(value, limit=40) for value in values)[:limit]
 
 
 def _located(location: Location, stack) -> Location:

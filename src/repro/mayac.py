@@ -16,6 +16,13 @@ Options:
     --table-cache DIR persist generated LALR tables under DIR so later
                       runs skip table generation (also honours the
                       MAYA_TABLE_CACHE environment variable)
+    --trace           print the expansion trace (nested phase /
+                      dispatch / Mayan spans with before/after
+                      rewrites) to stderr after compiling
+    --trace-out FILE  write the trace as JSONL (span records plus a
+                      final metrics record) to FILE
+    --provenance      with --expand, annotate generated statements
+                      with the Mayan/template/use-site that made them
 
 The macro library is registered by default, so sources can say
 ``use maya.util.ForEach;`` etc.
@@ -31,7 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import MayaCompiler, perf
+from repro import MayaCompiler, perf, trace
 from repro.diag import (
     DEFAULT_EXPANSION_DEPTH,
     DEFAULT_MAX_ERRORS,
@@ -72,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "cache hit rates after compiling")
     parser.add_argument("--table-cache", metavar="DIR",
                         help="persist generated LALR tables under DIR")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the expansion trace to stderr")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write the trace as JSONL to FILE")
+    parser.add_argument("--provenance", action="store_true",
+                        help="with --expand, annotate generated "
+                             "statements with their origin")
     return parser
 
 
@@ -99,6 +113,7 @@ def main(argv=None) -> int:
 
         enable_disk_cache(args.table_cache)
     profiler = perf.activate(perf.Profiler()) if args.profile else None
+    tracer = trace.activate() if (args.trace or args.trace_out) else None
     compiler = MayaCompiler()
     engine = compiler.env.diag
     engine.max_errors = max(1, args.max_errors)
@@ -115,6 +130,24 @@ def main(argv=None) -> int:
             print(profiler.render(dispatcher=compiler.env.dispatcher),
                   file=sys.stderr)
             perf.deactivate()
+        if tracer is not None:
+            if args.trace:
+                print(tracer.render(), file=sys.stderr)
+            if args.trace_out:
+                metrics = {
+                    "dispatches": compiler.env.dispatcher.dispatch_count,
+                    "caches": [s.snapshot() for s in perf.all_cache_stats()
+                               if s.lookups or s.evictions],
+                }
+                if profiler is not None:
+                    metrics["profile"] = profiler.snapshot()
+                try:
+                    with open(args.trace_out, "w", encoding="utf-8") as out:
+                        out.write(tracer.to_jsonl(metrics))
+                except OSError as error:
+                    print(f"mayac: cannot write {args.trace_out}: "
+                          f"{error.strerror}", file=sys.stderr)
+            trace.deactivate()
         return code
 
     program = None
@@ -133,12 +166,13 @@ def main(argv=None) -> int:
             return finish(1)
 
     if args.expand and program is not None:
-        print(program.source())
+        print(program.source(provenance=args.provenance))
 
     if args.run and program is not None:
         interp = Interpreter(program, echo=True)
         try:
-            interp.run_static(args.run)
+            with perf.phase("interp"), trace.span("interp", args.run):
+                interp.run_static(args.run)
         except DiagnosticError as error:
             print(engine.render(error.diagnostic), file=sys.stderr)
             return finish(2)

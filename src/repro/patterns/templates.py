@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro import perf
-from repro.diag import DiagnosticError
+from repro import perf, trace
+from repro.diag import DiagnosticError, SourceSpan
 from repro.ast import nodes as n
 from repro.grammar import Symbol
 from repro.hygiene.analysis import analyze_template
@@ -133,17 +133,48 @@ class _CompiledTemplate:
             raise TemplateError(
                 f"template {self.template!r} missing bindings: {missing}"
             )
-        renames = {name: fresh_name(name) for name in self.info.binders}
-        return _Replay(self, ctx, values, renames).build(self.tree, ctx)
+        # Binders are renamed in sorted order so the ``name$N`` suffixes
+        # are deterministic across processes (set iteration order is
+        # hash-randomized), which golden-expansion tests rely on.
+        renames = {name: fresh_name(name) for name in sorted(self.info.binders)}
+
+        # Provenance: while the replay reduces the template body, nodes
+        # are stamped with the enclosing Mayan activation's origin,
+        # refined with this template's name.  Direct API instantiation
+        # (no active Mayan) still records the template.
+        label = repr(self.template)
+        origins = ctx.env.dispatcher.root.origin_stack
+        if origins:
+            origin = origins[-1].with_template(label)
+        else:
+            origin = trace.Origin(None, label, SourceSpan())
+        replay = _Replay(self, ctx, values, renames, origin)
+        origins.append(origin)
+        tracer = trace.active
+        span = tracer.begin("template", label, template=label) \
+            if tracer is not None else None
+        try:
+            result = replay.build(self.tree, ctx)
+            if span is not None:
+                tracer.end(span)
+            return result
+        except BaseException:
+            if span is not None:
+                tracer.end(span, error=True)
+            raise
+        finally:
+            origins.pop()
 
 
 class _Replay:
     """One instantiation: replays the recorded parse with values."""
 
-    def __init__(self, compiled: _CompiledTemplate, ctx, values, renames):
+    def __init__(self, compiled: _CompiledTemplate, ctx, values, renames,
+                 origin: Optional[trace.Origin] = None):
         self.compiled = compiled
         self.values = values
         self.renames = renames
+        self.origin = origin
 
     # -- node dispatch ------------------------------------------------------
 
@@ -187,7 +218,16 @@ class _Replay:
 
             def parse(scope, _content=content, _ctx=ctx):
                 inner = _ctx.with_scope(scope) if scope is not None else _ctx
-                return self.build(_content, inner)
+                # The thunk forces after instantiate() returned: restore
+                # the template's provenance frame around the build.
+                origins = inner.env.dispatcher.root.origin_stack
+                if self.origin is not None:
+                    origins.append(self.origin)
+                try:
+                    return self.build(_content, inner)
+                finally:
+                    if self.origin is not None:
+                        origins.pop()
 
             lazy._parse = parse
             return PseudoToken(group.group.kind, lazy, group.group.location)

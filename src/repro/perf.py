@@ -87,13 +87,74 @@ def reset_cache_stats() -> None:
         stats.reset()
 
 
+class Histogram:
+    """A power-of-two-bucketed distribution of integer observations.
+
+    Used for per-compile shape metrics: Mayan dispatch depth, fuel
+    consumed, expansion counts per production — anywhere a single
+    counter hides the tail.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    #: Upper bounds (inclusive) of the buckets; the last is open-ended.
+    BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 3),
+            "buckets": {
+                (f"<={bound}" if index < len(self.BOUNDS) else
+                 f">{self.BOUNDS[-1]}"): hits
+                for index, (bound, hits) in enumerate(
+                    zip(self.BOUNDS + (self.BOUNDS[-1],), self.buckets))
+                if hits
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"min={self.min}, max={self.max}, mean={self.mean:.2f})")
+
+
 class Profiler:
-    """Per-phase wall-clock timings plus free-form counters."""
+    """Per-phase wall-clock timings plus free-form counters and
+    histograms."""
 
     def __init__(self):
         self.phase_seconds: Dict[str, float] = {}
         self.phase_counts: Dict[str, int] = {}
         self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
@@ -107,6 +168,27 @@ class Profiler:
 
     def count(self, name: str, amount: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one observation in a named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        histogram.observe(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything the profiler knows, as plain data (for the trace
+        JSONL export's metrics record)."""
+        return {
+            "phases": {
+                name: {"ms": round(seconds * 1e3, 3),
+                       "count": self.phase_counts.get(name, 0)}
+                for name, seconds in sorted(self.phase_seconds.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": [h.snapshot()
+                           for _, h in sorted(self.histograms.items())],
+        }
 
     def render(self, dispatcher=None) -> str:
         """A human-readable profile report (for ``mayac --profile``)."""
@@ -127,6 +209,15 @@ class Profiler:
                          f"dispatched")
         for name in sorted(self.counters):
             lines.append(f"counter: {name} = {self.counters[name]}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name in sorted(self.histograms):
+                histogram = self.histograms[name]
+                lines.append(
+                    f"  {name:<22} n={histogram.count:<6} "
+                    f"min={histogram.min} max={histogram.max} "
+                    f"mean={histogram.mean:.2f}"
+                )
         interesting = [s for s in all_cache_stats() if s.lookups or s.evictions]
         if interesting:
             lines.append("cache hit rates:")

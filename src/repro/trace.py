@@ -1,0 +1,329 @@
+"""Expansion observability: span tracing and AST provenance.
+
+Mayans run invisibly inside the parser, so the two debugging questions
+— *what expanded here?* and *where did this generated node come from?*
+— need first-class answers (mcpyrate's step-by-step expansion view is
+the model).  This module provides both:
+
+* **Spans** — a :class:`Tracer` records a tree of timed spans: one per
+  compiler phase (lex / parse+expand / shape / bodies+check / interp),
+  one per Mayan-relevant dispatch, one per Mayan activation (with the
+  mcpyrate-style before/after unparse of the rewrite), and one per
+  template instantiation.  The tree exports as JSONL
+  (``mayac --trace-out FILE``) or as an indented human view
+  (``mayac --trace``).  Base-action reductions with no Mayans in scope
+  are *not* spanned — they are counted in the metrics instead — so a
+  trace stays proportional to the expansion work, not to the grammar.
+
+* **Provenance** — every AST node reduced or instantiated during a
+  Mayan activation carries an :class:`Origin`:
+  ``Mayan -> template -> use-site SourceSpan``, chained through nested
+  expansions via ``parent``.  Diagnostics render the chain as
+  "expanded from" notes, and the unparser can annotate statements with
+  it (``mayac --expand --provenance``).
+
+When no tracer is active every hook is a single module-attribute read
+plus a ``None`` check, so ``--trace`` off stays off the hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.diag import SourceSpan
+
+#: How many origin links a diagnostic renders before eliding.
+MAX_ORIGIN_NOTES = 8
+
+
+class Origin:
+    """Provenance of one generated AST node.
+
+    ``mayan`` names the activation that produced the node, ``template``
+    the quasiquote it was instantiated from (None when the Mayan built
+    the node directly), ``use_site`` the nearest *real* source position
+    of the activation, and ``parent`` the enclosing activation's origin
+    for nested expansions.  The chain always terminates at an origin
+    whose ``use_site`` points into real source (the outermost
+    activation was triggered by user-written syntax).
+    """
+
+    # One Origin is allocated per activation whether or not its nodes
+    # are ever inspected, so construction must stay cheap: ``mayan``
+    # may be the Mayan object itself (stringified on first read) and
+    # ``use_site`` a raw lexer Location (converted to a SourceSpan on
+    # first read).  Both conversions write back, so the laziness is
+    # invisible to consumers.
+    __slots__ = ("_mayan", "template", "_use_site", "parent")
+
+    def __init__(self, mayan, template: Optional[str],
+                 use_site, parent: Optional["Origin"] = None):
+        self._mayan = mayan
+        self.template = template
+        self._use_site = use_site
+        self.parent = parent
+
+    @property
+    def mayan(self) -> Optional[str]:
+        name = self._mayan
+        if name is not None and not isinstance(name, str):
+            name = str(name)
+            self._mayan = name
+        return name
+
+    @property
+    def use_site(self) -> SourceSpan:
+        site = self._use_site
+        if not isinstance(site, SourceSpan):
+            site = SourceSpan.from_location(site) if site is not None \
+                else SourceSpan()
+            self._use_site = site
+        return site
+
+    def with_template(self, template: str) -> "Origin":
+        """This activation's origin, refined with the template that is
+        actually producing the nodes."""
+        return Origin(self._mayan, template, self._use_site, self.parent)
+
+    def chain(self) -> Iterator["Origin"]:
+        origin: Optional[Origin] = self
+        while origin is not None:
+            yield origin
+            origin = origin.parent
+
+    @property
+    def root(self) -> "Origin":
+        origin = self
+        while origin.parent is not None:
+            origin = origin.parent
+        return origin
+
+    def describe(self) -> str:
+        parts = [self.mayan or "<no Mayan>"]
+        if self.template:
+            parts.append(f"via {self.template}")
+        if self.use_site.is_known:
+            parts.append(f"at {self.use_site}")
+        return " ".join(parts)
+
+    def brief(self) -> str:
+        """A compact form for unparse annotations."""
+        name = self.mayan or self.template or "?"
+        if self.use_site.is_known:
+            return f"{name} @ {self.use_site}"
+        return name
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mayan": self.mayan,
+            "template": self.template,
+            "use_site": str(self.use_site) if self.use_site.is_known else None,
+        }
+
+    def __repr__(self) -> str:
+        return f"<origin {self.describe()}>"
+
+
+def provenance_notes(node) -> List[str]:
+    """The "expanded from" note lines for a node's origin chain (empty
+    for ordinary user-written nodes)."""
+    origin = getattr(node, "origin", None)
+    if origin is None:
+        return []
+    notes: List[str] = []
+    for link in origin.chain():
+        if len(notes) >= MAX_ORIGIN_NOTES:
+            notes.append("... (origin chain elided)")
+            break
+        notes.append(f"expanded from {link.describe()}")
+    return notes
+
+
+def use_site_span(location, stack) -> SourceSpan:
+    """The nearest *known* source position for an activation: the
+    dispatch location itself, or — when the expansion fired inside
+    template-made syntax with no position — the innermost enclosing
+    activation that still points into real source."""
+    if getattr(location, "line", 0) > 0:
+        return SourceSpan.from_location(location)
+    for _, active_location in reversed(stack):
+        if getattr(active_location, "line", 0) > 0:
+            return SourceSpan.from_location(active_location)
+    return SourceSpan.from_location(location)
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+#: Span kinds emitted by the compiler.
+SPAN_KINDS = ("compile", "phase", "dispatch", "expand", "template", "interp")
+
+
+class Span:
+    """One timed node in the trace tree."""
+
+    __slots__ = ("id", "parent_id", "kind", "name", "attrs",
+                 "start", "end", "children")
+
+    def __init__(self, span_id: int, parent_id: Optional[int],
+                 kind: str, name: str, attrs: Dict[str, object],
+                 start: float):
+        self.id = span_id
+        self.parent_id = parent_id
+        self.kind = kind
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def __repr__(self) -> str:
+        return f"<span #{self.id} {self.kind} {self.name!r}>"
+
+
+class Tracer:
+    """Collects a tree of spans for one or more compiles."""
+
+    def __init__(self):
+        self.roots: List[Span] = []
+        self.stack: List[Span] = []
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+
+    # -- recording -------------------------------------------------------
+
+    def begin(self, kind: str, name: str, **attrs) -> Span:
+        parent = self.stack[-1] if self.stack else None
+        span = Span(self._next_id, parent.id if parent else None,
+                    kind, name, attrs, time.perf_counter())
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self.stack.append(span)
+        return span
+
+    def end(self, span: Span, **attrs) -> None:
+        span.end = time.perf_counter()
+        if attrs:
+            span.attrs.update(attrs)
+        # Tolerate exception unwinds that skipped inner end() calls.
+        while self.stack and self.stack[-1] is not span:
+            dangling = self.stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if self.stack and self.stack[-1] is span:
+            self.stack.pop()
+
+    @contextmanager
+    def span(self, kind: str, name: str, **attrs) -> Iterator[Span]:
+        entry = self.begin(kind, name, **attrs)
+        try:
+            yield entry
+        finally:
+            self.end(entry)
+
+    # -- queries ---------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Span]:
+        def walk(span: Span) -> Iterator[Span]:
+            yield span
+            for child in span.children:
+                yield from walk(child)
+        for root in self.roots:
+            yield from walk(root)
+
+    def spans_of_kind(self, kind: str) -> List[Span]:
+        return [s for s in self.iter_spans() if s.kind == kind]
+
+    # -- export ----------------------------------------------------------
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Span records in pre-order (parents before children)."""
+        records = []
+        for span in self.iter_spans():
+            records.append({
+                "type": "span",
+                "id": span.id,
+                "parent": span.parent_id,
+                "kind": span.kind,
+                "name": span.name,
+                "start_ms": round((span.start - self._epoch) * 1e3, 3),
+                "dur_ms": round(span.duration * 1e3, 3),
+                "attrs": span.attrs,
+            })
+        return records
+
+    def to_jsonl(self, metrics: Optional[Dict[str, object]] = None) -> str:
+        """The whole trace as JSON Lines: one header record, one record
+        per span, and a final metrics record."""
+        lines = [json.dumps({"type": "trace", "version": 1,
+                             "spans": sum(1 for _ in self.iter_spans())})]
+        for record in self.to_records():
+            lines.append(json.dumps(record, default=str))
+        if metrics is not None:
+            lines.append(json.dumps({"type": "metrics", **metrics},
+                                    default=str))
+        return "\n".join(lines) + "\n"
+
+    def render(self, max_attr_width: int = 72) -> str:
+        """The mcpyrate-style indented human view."""
+        lines: List[str] = ["== mayac trace =="]
+
+        def emit(span: Span, depth: int) -> None:
+            pad = "  " * depth
+            head = f"{pad}{span.kind} {span.name}  [{span.duration * 1e3:.2f} ms]"
+            lines.append(head)
+            for key in ("mayan", "production", "location", "template"):
+                value = span.attrs.get(key)
+                if value:
+                    lines.append(f"{pad}  {key}: {value}")
+            for key in ("before", "after"):
+                value = span.attrs.get(key)
+                if value:
+                    text = " ".join(str(value).split())
+                    if len(text) > max_attr_width:
+                        text = text[:max_attr_width] + "..."
+                    lines.append(f"{pad}  {key}: {text}")
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return "\n".join(lines)
+
+
+#: The currently active tracer, or None (the common case).  Hot paths
+#: read this once and skip all trace work when it is None.
+active: Optional[Tracer] = None
+
+
+def activate(tracer: Optional[Tracer] = None) -> Tracer:
+    global active
+    active = tracer if tracer is not None else Tracer()
+    return active
+
+
+def deactivate() -> None:
+    global active
+    active = None
+
+
+@contextmanager
+def span(kind: str, name: str, **attrs) -> Iterator[Optional[Span]]:
+    """Span context manager that no-ops when tracing is off."""
+    tracer = active
+    if tracer is None:
+        yield None
+    else:
+        with tracer.span(kind, name, **attrs) as entry:
+            yield entry

@@ -58,6 +58,12 @@ class CheckError(DiagnosticError):
             message, phase="check",
             span=SourceSpan.from_location(location), cause=self,
         )
+        # Errors inside generated code point back at the use site via
+        # the node's provenance chain ("expanded from ..." notes).
+        from repro.trace import provenance_notes
+
+        for note in provenance_notes(node):
+            self.diagnostic.with_note(note)
 
 
 # ---------------------------------------------------------------------------

@@ -2,6 +2,13 @@
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/golden/ snapshots from current expansions",
+    )
+
 from repro import MayaCompiler
 from repro.interp import Interpreter
 from repro.macros import install_macro_library

@@ -1,0 +1,7 @@
+class Demo {
+    static void main() {
+        /* use maya.util.Assert */
+        if (!(1 + 1 == 2)) throw new java.lang.AssertionError("1 + 1 == 2");
+        if (!(2 > 1)) throw new java.lang.AssertionError("ordering");
+    }
+}

@@ -1,0 +1,14 @@
+import java.util.*;
+class Demo {
+    static void main() {
+        /* use maya.util.Collect */
+        Vector names = new Vector();
+        names.addElement("ann");
+        Vector upper = new Vector();
+        for (java.util.Enumeration enumVar$1 = names.elements(); enumVar$1.hasMoreElements(); ) {
+            String s;
+            s = (java.lang.String) enumVar$1.nextElement();
+            upper.addElement(s.toUpperCase());
+        }
+    }
+}

@@ -1,0 +1,15 @@
+class Demo {
+    static void main() {
+        /* use maya.util.ForEach */
+        java.lang.Object[] xs = new java.lang.Object[2];
+        {
+            java.lang.Object[] arr$1 = xs;
+            int len$3 = arr$1.length;
+            for (int i$2 = 0; i$2 < len$3; i$2++) {
+                Object x;
+                x = (java.lang.Object) arr$1[i$2];
+                System.out.println(x);
+            }
+        }
+    }
+}

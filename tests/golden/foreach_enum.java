@@ -1,0 +1,13 @@
+import java.util.*;
+class Demo {
+    static void main() {
+        /* use maya.util.ForEach */
+        Hashtable h = new Hashtable();
+        h.put("one", "1");
+        for (java.util.Enumeration enumVar$1 = h.keys(); enumVar$1.hasMoreElements(); ) {
+            String st;
+            st = (java.lang.String) enumVar$1.nextElement();
+            System.out.println(st + " = " + h.get(st));
+        }
+    }
+}

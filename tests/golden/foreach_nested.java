@@ -1,0 +1,17 @@
+import java.util.*;
+class Demo {
+    static void main() {
+        /* use maya.util.ForEach */
+        Vector rows = new Vector();
+        Vector cols = new Vector();
+        for (java.util.Enumeration enumVar$1 = rows.elements(); enumVar$1.hasMoreElements(); ) {
+            String r;
+            r = (java.lang.String) enumVar$1.nextElement();
+            for (java.util.Enumeration enumVar$2 = cols.elements(); enumVar$2.hasMoreElements(); ) {
+                String c;
+                c = (java.lang.String) enumVar$2.nextElement();
+                System.out.println(r + c);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+class Demo {
+    static void main() {
+        /* use maya.util.ForEach */
+        maya.util.Vector v = new maya.util.Vector();
+        v.addElement("a");
+        v.addElement("b");
+        {
+            maya.util.Vector vec$4 = v;
+            int len$3 = vec$4.size();
+            java.lang.Object[] arr$1 = vec$4.getElementData();
+            for (int i$2 = 0; i$2 < len$3; i$2++) {
+                String s;
+                s = (java.lang.String) arr$1[i$2];
+                System.out.println(s);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+import java.util.*;
+class Hello {
+    static void main() {
+        /* use maya.util.ForEach */
+        Vector greetings = new Vector();
+        greetings.addElement("hello, maya");
+        greetings.addElement("multimethods on productions");
+        for (java.util.Enumeration enumVar$1 = greetings.elements(); enumVar$1.hasMoreElements(); ) {
+            String line;
+            line = (java.lang.String) enumVar$1.nextElement();
+            System.out.println(line);
+        }
+    }
+}

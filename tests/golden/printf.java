@@ -1,0 +1,6 @@
+class Demo {
+    static void main() {
+        /* use maya.util.Printf */
+        System.out.print("" + "cart" + " has " + 3 + " items\n");
+    }
+}

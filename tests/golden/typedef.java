@@ -1,0 +1,9 @@
+class Demo {
+    static void main() {
+        /* use maya.util.Typedef */
+        /* use _Subst */
+        java.util.Hashtable t = new java.util.Hashtable();
+        t.put("k", "v");
+        System.out.println(t.get("k"));
+    }
+}

@@ -1,0 +1,87 @@
+"""Smoke tests: every shipped example must keep working.
+
+``examples/hello.maya`` is driven through the real ``mayac`` CLI (the
+path a new user follows first), including the observability flags; the
+Python example scripts are imported and their ``main()`` run in-process
+so a broken public API surfaces here, not in the README.
+"""
+
+import importlib
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro import trace
+from repro.mayac import main as mayac_main
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+HELLO = str(EXAMPLES_DIR / "hello.maya")
+
+
+# ---------------------------------------------------------------------------
+# hello.maya through the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestHelloMaya:
+    def test_compiles(self, capsys):
+        assert mayac_main([HELLO]) == 0
+
+    def test_runs(self, capsys):
+        assert mayac_main([HELLO, "--run", "Hello"]) == 0
+        out = capsys.readouterr().out
+        assert "hello, maya" in out
+        assert "multimethods on productions" in out
+
+    def test_expand_shows_plain_java(self, capsys):
+        assert mayac_main([HELLO, "--expand"]) == 0
+        out = capsys.readouterr().out
+        assert "foreach" not in out
+        assert "hasMoreElements" in out
+
+    def test_trace_out_emits_valid_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "hello-trace.jsonl"
+        assert mayac_main([HELLO, "--trace-out", str(out)]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records[0]["type"] == "trace"
+        assert any(r.get("kind") == "expand" for r in records)
+        assert trace.active is None
+
+    def test_profile_reports_expansion(self, capsys):
+        assert mayac_main([HELLO, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "expansions" in err
+
+
+# ---------------------------------------------------------------------------
+# Python example scripts
+# ---------------------------------------------------------------------------
+
+SCRIPTS = ["quickstart", "custom_macro", "typedef_demo",
+           "vector_optimization", "multijava_shapes"]
+
+
+def run_example(name: str):
+    """Import examples/<name>.py and call its main()."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module = importlib.import_module(name)
+        module = importlib.reload(module)  # fresh run if cached
+        module.main()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("name", SCRIPTS)
+def test_example_script_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"examples/{name}.py printed nothing"
+
+
+def test_quickstart_output(capsys):
+    run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "Expanded source" in out and "Program output" in out

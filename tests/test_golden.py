@@ -1,0 +1,177 @@
+"""Golden-file expansion tests.
+
+Each case compiles a source program (with the macro library), unparses
+the fully expanded output, and compares it byte-for-byte against a
+snapshot in ``tests/golden/``.  Any change to a macro's expansion —
+even one character — fails these tests; refresh intentionally with::
+
+    pytest tests/test_golden.py --update-goldens
+
+Every compile runs with the tracer *active*, so trace instrumentation
+can never change expansion output (the overhead claim is behavioural,
+not just temporal).  Fresh-name counters are reset per case, making the
+hygienic ``name$N`` suffixes deterministic.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import trace
+from repro.hygiene.fresh import reset_fresh_names
+from tests.conftest import compile_source
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: name -> Maya source.  One case per macro in src/repro/macros/, plus
+#: layered/nested expansions and the shipped example program.
+CASES = {
+    "foreach_enum": """
+        import java.util.*;
+        class Demo {
+            static void main() {
+                use maya.util.ForEach;
+                Hashtable h = new Hashtable();
+                h.put("one", "1");
+                h.keys().foreach(String st) {
+                    System.out.println(st + " = " + h.get(st));
+                }
+            }
+        }
+    """,
+    "foreach_vector": """
+        class Demo {
+            static void main() {
+                use maya.util.ForEach;
+                maya.util.Vector v = new maya.util.Vector();
+                v.addElement("a");
+                v.addElement("b");
+                v.elements().foreach(String s) {
+                    System.out.println(s);
+                }
+            }
+        }
+    """,
+    "foreach_array": """
+        class Demo {
+            static void main() {
+                use maya.util.ForEach;
+                java.lang.Object[] xs = new java.lang.Object[2];
+                xs.foreach(Object x) {
+                    System.out.println(x);
+                }
+            }
+        }
+    """,
+    "foreach_nested": """
+        import java.util.*;
+        class Demo {
+            static void main() {
+                use maya.util.ForEach;
+                Vector rows = new Vector();
+                Vector cols = new Vector();
+                rows.elements().foreach(String r) {
+                    cols.elements().foreach(String c) {
+                        System.out.println(r + c);
+                    }
+                }
+            }
+        }
+    """,
+    "printf": """
+        class Demo {
+            static void main() {
+                use maya.util.Printf;
+                System.out.printf("%s has %d items\\n", "cart", 3);
+            }
+        }
+    """,
+    "assertion": """
+        class Demo {
+            static void main() {
+                use maya.util.Assert;
+                assert(1 + 1 == 2);
+                assert(2 > 1, "ordering");
+            }
+        }
+    """,
+    "typedef": """
+        class Demo {
+            static void main() {
+                use maya.util.Typedef;
+                typedef (Table = java.util.Hashtable) {
+                    Table t = new Table();
+                    t.put("k", "v");
+                    System.out.println(t.get("k"));
+                }
+            }
+        }
+    """,
+    "comprehension": """
+        import java.util.*;
+        class Demo {
+            static void main() {
+                use maya.util.Collect;
+                Vector names = new Vector();
+                names.addElement("ann");
+                Vector upper = new Vector();
+                collect(upper, s.toUpperCase() : String s : names.elements());
+            }
+        }
+    """,
+}
+
+
+def expand_case(name: str) -> str:
+    """Deterministically compile a case with tracing on; return the
+    unparsed post-expansion source."""
+    if name == "hello_example":
+        source = (EXAMPLES_DIR / "hello.maya").read_text()
+    else:
+        source = CASES[name]
+    reset_fresh_names()
+    tracer = trace.activate()
+    try:
+        program = compile_source(source, macros=True)
+        expanded = program.source()
+    finally:
+        trace.deactivate()
+    # Tracing must have observed the compile (golden runs double as
+    # trace smoke tests) without perturbing it.
+    assert tracer.spans_of_kind("phase"), "tracer saw no compile phases"
+    return expanded + "\n"
+
+
+ALL_CASES = sorted(CASES) + ["hello_example"]
+
+
+@pytest.mark.parametrize("name", ALL_CASES)
+def test_golden_expansion(name, request):
+    expanded = expand_case(name)
+    golden_path = GOLDEN_DIR / f"{name}.java"
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(expanded)
+        pytest.skip(f"updated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; run "
+        f"pytest tests/test_golden.py --update-goldens"
+    )
+    expected = golden_path.read_text()
+    assert expanded == expected, (
+        f"expansion of {name!r} changed; if intentional, refresh with "
+        f"--update-goldens"
+    )
+
+
+def test_goldens_contain_expansions():
+    """Sanity: the snapshots really captured expanded (not raw) code."""
+    assert "hasMoreElements" in (GOLDEN_DIR / "foreach_enum.java").read_text()
+    assert "getElementData" in (GOLDEN_DIR / "foreach_vector.java").read_text()
+
+
+def test_expansion_is_deterministic():
+    """Two identical compiles (with counter resets) match exactly —
+    the precondition that makes golden files meaningful."""
+    assert expand_case("foreach_enum") == expand_case("foreach_enum")

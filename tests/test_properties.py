@@ -1,15 +1,17 @@
 """Property-based tests (hypothesis) on core invariants."""
 
+import re
 import string
 
 from hypothesis import given, settings, strategies as st
 
+from repro import trace
 from repro.grammar import Assoc, Grammar, Symbol, nonterminal, terminal
 from repro.hygiene import make_id
 from repro.lalr import Parser, ParserContext, build_tables
 from repro.lexer import scan, stream_lex
 from repro.lexer.tokens import flatten
-from tests.conftest import run_main
+from tests.conftest import compile_source, run_main
 
 # ---------------------------------------------------------------------------
 # Lexer properties
@@ -186,3 +188,152 @@ def test_foreach_never_captures(name):
         }}
     """, macros=True)
     assert lines == ["outer"]
+
+
+# ---------------------------------------------------------------------------
+# Hygiene property: fresh names never collide across nested expansions
+# ---------------------------------------------------------------------------
+
+
+@given(identifiers.filter(lambda s: s not in ("foreach", "r", "c")),
+       identifiers.filter(lambda s: s not in ("foreach", "r", "c")))
+@settings(max_examples=8, deadline=None)
+def test_nested_expansions_mint_disjoint_fresh_names(outer_var, inner_var):
+    """Two nested foreach expansions each rename their template binders;
+    no ``name$N`` may be declared twice (capture across expansions)."""
+    program = compile_source(f"""
+        import java.util.*;
+        class Demo {{
+            static void main() {{
+                use maya.util.ForEach;
+                Vector rows = new Vector();
+                Vector cols = new Vector();
+                rows.elements().foreach(String {outer_var}) {{
+                    cols.elements().foreach(String {inner_var}) {{
+                        System.out.println({outer_var} + {inner_var});
+                    }}
+                }}
+            }}
+        }}
+    """, macros=True)
+    expanded = program.source()
+    declared = re.findall(r"Enumeration (\w+\$\d+) =", expanded)
+    assert len(declared) == 2, expanded
+    assert len(set(declared)) == 2, f"fresh name captured: {declared}"
+    # The user's own names survive unrenamed.
+    assert outer_var in expanded and inner_var in expanded
+
+
+# ---------------------------------------------------------------------------
+# Trace well-formedness: spans nest, origin chains ground out in source
+# ---------------------------------------------------------------------------
+
+
+def _foreach_program(var: str) -> str:
+    return f"""
+        import java.util.*;
+        class Demo {{
+            static void main() {{
+                use maya.util.ForEach;
+                Vector v = new Vector();
+                v.addElement("x");
+                v.elements().foreach(String {var}) {{
+                    System.out.println({var});
+                }}
+            }}
+        }}
+    """
+
+
+def _walk_nodes(program):
+    from repro.ast import nodes as n
+
+    seen = []
+
+    def walk(node):
+        seen.append(node)
+        for child in node.children():
+            walk(child)
+
+    for unit in program.units:
+        walk(unit)
+    for node in list(seen):
+        if isinstance(node, n.LazyNode) and node.is_forced():
+            walk(node.force())
+    return seen
+
+
+@given(identifiers.filter(lambda s: s not in ("foreach", "v")))
+@settings(max_examples=8, deadline=None)
+def test_trace_spans_well_formed(name):
+    """Every span closes, children are properly nested inside their
+    parents (ids and intervals), and the JSONL export parses."""
+    import json
+
+    tracer = trace.activate()
+    try:
+        program = compile_source(_foreach_program(name), macros=True)
+    finally:
+        trace.deactivate()
+    assert tracer.stack == []
+    for span in tracer.iter_spans():
+        assert span.end is not None, f"span never closed: {span!r}"
+        for child in span.children:
+            assert child.parent_id == span.id
+            assert span.start <= child.start
+            assert child.end <= span.end + 1e-9
+    for line in tracer.to_jsonl().splitlines():
+        json.loads(line)
+    # Origin chains of everything the expansion produced terminate at a
+    # real source position (the use site).
+    stamped = [node for node in _walk_nodes(program)
+               if node.origin is not None]
+    assert stamped
+    for node in stamped:
+        assert node.origin.root.use_site.is_known
+
+
+# ---------------------------------------------------------------------------
+# Unparse -> reparse round-trip on traced expansion output
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1,
+                        max_size=6), min_size=1, max_size=3))
+@settings(max_examples=8, deadline=None)
+def test_expanded_output_reparses_and_stabilizes(words):
+    """The traced, expanded output is valid (macro-free) input again:
+    it recompiles, runs identically, and unparsing is idempotent from
+    there on."""
+    adds = "\n".join(f'v.addElement("{w}");' for w in words)
+    source = f"""
+        import java.util.*;
+        class Demo {{
+            static void main() {{
+                use maya.util.ForEach;
+                Vector v = new Vector();
+                {adds}
+                v.elements().foreach(String s) {{
+                    System.out.println(s);
+                }}
+            }}
+        }}
+    """
+    tracer = trace.activate()
+    try:
+        program = compile_source(source, macros=True)
+    finally:
+        trace.deactivate()
+    assert tracer.spans_of_kind("expand")
+    expanded1 = program.source()
+
+    reparsed = compile_source(expanded1)  # plain Java now: no macros
+    expanded2 = reparsed.source()
+    expanded3 = compile_source(expanded2).source()
+    assert expanded2 == expanded3
+
+    from repro.interp import Interpreter
+
+    interp = Interpreter(compile_source(expanded2))
+    interp.run_static("Demo")
+    assert interp.output == words

@@ -1,0 +1,351 @@
+"""The observability layer: span tracing, provenance, trace metrics."""
+
+import json
+
+import pytest
+
+from repro import perf, trace
+from repro.diag import SourceSpan
+from repro.mayac import main
+from tests.conftest import compile_source, make_compiler
+
+FOREACH_SOURCE = """
+    import java.util.*;
+    class Demo {
+        static void main() {
+            use maya.util.ForEach;
+            Vector v = new Vector();
+            v.addElement("traced");
+            v.elements().foreach(String s) {
+                System.out.println(s);
+            }
+        }
+    }
+"""
+
+
+@pytest.fixture
+def tracer():
+    tracer = trace.activate()
+    yield tracer
+    trace.deactivate()
+
+
+def compile_traced(source: str, tracer) -> "trace.Tracer":
+    compile_source(source, macros=True)
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# Tracer mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest(self):
+        tracer = trace.Tracer()
+        with tracer.span("compile", "outer"):
+            with tracer.span("phase", "inner"):
+                pass
+            with tracer.span("phase", "sibling"):
+                pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["inner", "sibling"]
+        assert all(child.parent_id == outer.id for child in outer.children)
+
+    def test_span_timing_contained(self):
+        tracer = trace.Tracer()
+        with tracer.span("compile", "outer"):
+            with tracer.span("phase", "inner"):
+                pass
+        outer, = tracer.roots
+        inner, = outer.children
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_exception_unwinds_cleanly(self):
+        tracer = trace.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("compile", "outer"):
+                with tracer.span("phase", "inner"):
+                    raise RuntimeError("boom")
+        assert tracer.stack == []
+        assert all(span.end is not None for span in tracer.iter_spans())
+
+    def test_module_level_span_noop_when_inactive(self):
+        assert trace.active is None
+        with trace.span("phase", "nothing") as span:
+            assert span is None
+
+    def test_jsonl_roundtrip(self):
+        tracer = trace.Tracer()
+        with tracer.span("compile", "unit", filename="x.maya"):
+            with tracer.span("phase", "lex"):
+                pass
+        records = [json.loads(line) for line in
+                   tracer.to_jsonl({"dispatches": 3}).splitlines()]
+        assert records[0]["type"] == "trace"
+        assert records[0]["spans"] == 2
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["kind"] for s in spans] == ["compile", "phase"]
+        assert spans[1]["parent"] == spans[0]["id"]
+        assert records[-1] == {"type": "metrics", "dispatches": 3}
+
+
+# ---------------------------------------------------------------------------
+# Compile-pipeline spans
+# ---------------------------------------------------------------------------
+
+
+class TestCompileSpans:
+    def test_phases_recorded(self, tracer):
+        compile_traced("class Empty { }", tracer)
+        names = [span.name for span in tracer.spans_of_kind("phase")]
+        assert names == ["lex", "parse+expand", "shape", "bodies+check"]
+
+    def test_expansion_spans_record_rewrite(self, tracer):
+        compile_traced(FOREACH_SOURCE, tracer)
+        expansions = tracer.spans_of_kind("expand")
+        assert len(expansions) == 1
+        span = expansions[0]
+        assert span.attrs["mayan"] == "EForEach"
+        assert "foreach" in span.attrs["before"]
+        assert "hasMoreElements" in span.attrs["after"]
+        assert span.attrs["location"].endswith(":8:13")
+
+    def test_dispatch_span_wraps_expansion(self, tracer):
+        compile_traced(FOREACH_SOURCE, tracer)
+        dispatch, = tracer.spans_of_kind("dispatch")
+        assert dispatch.attrs["candidates"] >= 1
+        assert any(child.kind == "expand" for child in dispatch.children)
+
+    def test_template_span_nested_in_expansion(self, tracer):
+        compile_traced(FOREACH_SOURCE, tracer)
+        expand, = tracer.spans_of_kind("expand")
+        kinds = {child.kind for child in expand.children}
+        assert "template" in kinds
+
+    def test_no_spans_for_plain_reductions(self, tracer):
+        compile_traced("class Plain { static void main() { int x = 1; } }",
+                       tracer)
+        assert tracer.spans_of_kind("expand") == []
+        assert tracer.spans_of_kind("dispatch") == []
+
+    def test_tracing_does_not_change_expansion(self):
+        from repro.hygiene.fresh import reset_fresh_names
+
+        reset_fresh_names()
+        plain = compile_source(FOREACH_SOURCE, macros=True).source()
+        trace.activate()
+        try:
+            reset_fresh_names()
+            traced = compile_source(FOREACH_SOURCE, macros=True).source()
+        finally:
+            trace.deactivate()
+        assert traced == plain
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------------
+
+
+class TestProvenance:
+    def test_generated_nodes_carry_origin(self):
+        program = compile_source(FOREACH_SOURCE, macros=True)
+        generated = [node for node in _all_nodes(program)
+                     if node.origin is not None]
+        assert generated, "expansion produced no origin-stamped nodes"
+        mayans = {node.origin.mayan for node in generated}
+        assert "EForEach" in mayans
+
+    def test_origin_chain_terminates_at_real_span(self):
+        program = compile_source(FOREACH_SOURCE, macros=True)
+        for node in _all_nodes(program):
+            if node.origin is None:
+                continue
+            assert node.origin.root.use_site.is_known, \
+                f"origin chain of {node!r} dead-ends without a source span"
+
+    def test_user_written_nodes_have_no_origin(self):
+        program = compile_source(
+            "class Plain { static void main() { int x = 1; } }")
+        assert all(node.origin is None for node in _all_nodes(program))
+
+    def test_nested_expansion_chains_origins(self):
+        # collect() expands into foreach syntax that foreach Mayans then
+        # expand again: inner nodes must link both activations.
+        program = compile_source("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    use maya.util.Collect;
+                    Vector src = new Vector();
+                    Vector dst = new Vector();
+                    collect(dst, x : Object x : src.elements());
+                }
+            }
+        """, macros=True)
+        chains = [
+            [link.mayan for link in node.origin.chain()]
+            for node in _all_nodes(program) if node.origin is not None
+        ]
+        assert any(len(chain) >= 2 for chain in chains), \
+            "no node records the nested collect -> foreach expansion"
+
+    def test_check_error_in_generated_code_names_use_site(self):
+        # foreach(int n) over a Vector casts Object to int inside the
+        # *generated* code; the error must point back at the use site.
+        with pytest.raises(Exception) as excinfo:
+            compile_source("""
+                import java.util.*;
+                class Demo {
+                    static void main() {
+                        use maya.util.ForEach;
+                        Vector v = new Vector();
+                        v.elements().foreach(int n) {
+                            System.out.println(n);
+                        }
+                    }
+                }
+            """, macros=True)
+        notes = getattr(excinfo.value, "diagnostic").notes
+        assert any("expanded from" in note and ":7:" in note
+                   for note in notes), notes
+
+    def test_origin_describe_mentions_template(self):
+        program = compile_source(FOREACH_SOURCE, macros=True)
+        described = [node.origin.describe() for node in _all_nodes(program)
+                     if node.origin is not None and node.origin.template]
+        assert any("via Template(" in text for text in described)
+
+    def test_provenance_notes_elide_long_chains(self):
+        span = SourceSpan("f.maya", 1, 1)
+        origin = trace.Origin("M0", None, span)
+        for index in range(1, 12):
+            origin = trace.Origin(f"M{index}", None, span, origin)
+
+        class Fake:
+            pass
+
+        node = Fake()
+        node.origin = origin
+        notes = trace.provenance_notes(node)
+        assert len(notes) == trace.MAX_ORIGIN_NOTES + 1
+        assert notes[-1].startswith("...")
+
+    def test_unparse_provenance_annotation(self):
+        program = compile_source(FOREACH_SOURCE, macros=True)
+        annotated = program.source(provenance=True)
+        assert "/* from EForEach @" in annotated
+        # The plain unparse stays comment-free.
+        assert "/* from" not in program.source()
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_expansion_counters_and_depth_histogram(self):
+        profiler = perf.activate(perf.Profiler())
+        try:
+            compile_source(FOREACH_SOURCE, macros=True)
+        finally:
+            perf.deactivate()
+        assert profiler.counters["expansions"] == 1
+        assert profiler.counters["expansions[EForEach]"] == 1
+        depth = profiler.histograms["expansion.depth"]
+        assert depth.count == 1 and depth.max == 1
+
+    def test_histogram_buckets_and_stats(self):
+        histogram = perf.Histogram("h")
+        for value in (1, 1, 3, 9, 200):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5
+        assert snap["min"] == 1 and snap["max"] == 200
+        assert snap["buckets"]["<=1"] == 2
+        assert snap["buckets"][">128"] == 1
+
+    def test_profiler_snapshot_shape(self):
+        profiler = perf.Profiler()
+        with profiler.timed("lex"):
+            pass
+        profiler.count("expansions", 2)
+        profiler.observe("expansion.depth", 3)
+        snap = profiler.snapshot()
+        assert "lex" in snap["phases"]
+        assert snap["counters"] == {"expansions": 2}
+        assert snap["histograms"][0]["name"] == "expansion.depth"
+        json.dumps(snap)  # must be plain data
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestCliTrace:
+    @pytest.fixture
+    def demo_file(self, tmp_path):
+        path = tmp_path / "demo.maya"
+        path.write_text(FOREACH_SOURCE.replace("class Demo", "class Demo"))
+        return str(path)
+
+    def test_trace_out_writes_valid_jsonl(self, demo_file, tmp_path):
+        out = tmp_path / "t.jsonl"
+        assert main([demo_file, "--trace-out", str(out)]) == 0
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        assert records[0]["type"] == "trace"
+        kinds = {r["kind"] for r in records if r["type"] == "span"}
+        assert {"compile", "phase", "expand"} <= kinds
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["dispatches"] > 0
+
+    def test_trace_out_includes_profile_metrics(self, demo_file, tmp_path,
+                                                capsys):
+        out = tmp_path / "t.jsonl"
+        assert main([demo_file, "--trace-out", str(out), "--profile"]) == 0
+        final = json.loads(out.read_text().splitlines()[-1])
+        assert "profile" in final
+        assert final["profile"]["counters"]["expansions"] >= 1
+
+    def test_trace_renders_human_view(self, demo_file, capsys):
+        assert main([demo_file, "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "== mayac trace ==" in err
+        assert "expand EForEach" in err
+        assert "before:" in err and "after:" in err
+
+    def test_provenance_flag(self, demo_file, capsys):
+        assert main([demo_file, "--expand", "--provenance"]) == 0
+        assert "/* from EForEach @" in capsys.readouterr().out
+
+    def test_tracer_deactivated_after_run(self, demo_file):
+        assert main([demo_file, "--trace"]) == 0
+        assert trace.active is None
+
+
+def _all_nodes(program):
+    """Every AST node reachable from a compiled program's units."""
+    from repro.ast import nodes as n
+
+    seen = []
+
+    def walk(node):
+        seen.append(node)
+        for child in node.children():
+            walk(child)
+
+    for unit in program.units:
+        walk(unit)
+    # UseStmt bodies and forced lazy bodies are reached via children();
+    # also chase forced LazyNodes' values.
+    for node in list(seen):
+        if isinstance(node, n.LazyNode) and node.is_forced():
+            walk(node.force())
+    return seen
