@@ -7,7 +7,7 @@ compilation (bodies forced and checked) for a generated many-method
 class, and the cost of grammar regeneration after a mid-file ``use``.
 """
 
-from conftest import make_compiler, report
+from conftest import make_compiler, record_metric, report
 
 from repro.ast import nodes as n
 from repro.core import CompileContext, CompileEnv
@@ -62,6 +62,9 @@ def test_e4_shaping_cheaper_than_compiling(benchmark):
         ["full compile (bodies forced)", f"{full_time * 1e3:.1f} ms"],
         ["ratio", f"{full_time / shape_time:.1f}x"],
     ])
+    record_metric("shape_40_methods_ms", round(shape_time * 1e3, 3), "ms")
+    record_metric("full_compile_40_methods_ms", round(full_time * 1e3, 3),
+                  "ms")
     assert shape_time < full_time
 
     benchmark(lambda: shape_only(source))
@@ -107,3 +110,49 @@ def test_e4_unparsed_bodies_cost_nothing(benchmark):
     decl, lazy_count = shape_only(source)
     assert lazy_count == 2
     benchmark(lambda: shape_only(source))
+
+
+MULTIJAVA_WORKLOAD = """
+    use multijava.MultiJava;
+    class C { }
+    class D extends C {
+        int m(C c) { return 0; }
+        int m(C@D c) { return 1; }
+    }
+"""
+
+
+def test_e4_laziness_profile(benchmark):
+    """Measure what lazy parsing never does: compile the MultiJava
+    multimethod workload under the laziness profiler and record the
+    never-forced fractions.  ``rescope_lazy`` rebinds multimethod
+    bodies into a child environment (for the method-local SuperSend
+    Mayan), so the original thunks are permanently abandoned — a
+    structural source of never-parsed work that the profiler should
+    see."""
+    from repro.obs import lazy as obs_lazy
+
+    def profiled():
+        profiler = obs_lazy.activate()
+        try:
+            make_compiler(multijava=True).compile(MULTIJAVA_WORKLOAD)
+        finally:
+            obs_lazy.deactivate()
+        return profiler
+
+    profiler = profiled()
+    assert profiler.forced_total <= profiler.created_total
+    assert profiler.never_forced > 0  # the abandoned rescope originals
+    thunk_pct = profiler.never_forced_fraction * 100
+    token_pct = profiler.never_parsed_token_fraction * 100
+    report("E4b: laziness profile (MultiJava multimethod workload)", [
+        ["thunks created", profiler.created_total],
+        ["thunks forced", profiler.forced_total],
+        ["thunks never forced", f"{profiler.never_forced} "
+                                f"({thunk_pct:.0f}%)"],
+        ["tokens captured lazily", profiler.tokens_created_total],
+        ["tokens never parsed", f"{token_pct:.1f}%"],
+    ])
+    record_metric("mj_never_forced_pct", round(thunk_pct, 1), "%")
+    record_metric("mj_never_parsed_tokens_pct", round(token_pct, 1), "%")
+    benchmark(profiled)

@@ -21,6 +21,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro import perf, trace
+from repro.obs import lazy as obs_lazy
 from repro.ast import nodes as n
 from repro.ast import to_source
 from repro.diag import CompileFailed, DiagnosticError
@@ -313,6 +314,7 @@ class MayaCompiler:
 
     def _force_body(self, body, scope: Scope):
         if isinstance(body, n.LazyNode):
+            obs_lazy.thunk_forcing(body)
             body = body.force(scope)
         if isinstance(body, n.BlockStmts):
             check_block(body, scope)

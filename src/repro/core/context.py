@@ -15,6 +15,7 @@ from repro.ast import nodes as n
 from repro.grammar import Nonterminal, Production
 from repro.lalr import Parser, ParserContext
 from repro.lexer import Location, Token
+from repro.obs import lazy as obs_lazy
 from repro.typecheck import Scope
 from repro.core.env import CompileEnv, MayaError
 
@@ -91,7 +92,7 @@ class CompileContext(ParserContext):
             return ctx.parse_subtree(tree, content_symbol)
 
         lazy._parse = parse
-        return lazy
+        return obs_lazy.thunk_created(lazy)
 
     # -- use handling -----------------------------------------------------------
 
@@ -154,7 +155,7 @@ class CompileContext(ParserContext):
             return ctx.parse_subtree(_tree, _symbol)
 
         rebound._parse = parse
-        return rebound
+        return obs_lazy.thunk_created(rebound)
 
     def error(self, message: str, location: Location = Location.UNKNOWN):
         return MayaError(message, location=location)

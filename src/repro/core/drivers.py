@@ -14,6 +14,19 @@ from typing import List
 from repro.ast import nodes as n
 from repro.lalr import ParseError, Parser
 from repro.lexer import Token
+from repro.obs.metrics import REGISTRY
+
+#: Elements parsed one-at-a-time by the incremental driver loops — the
+#: work the drivers *did* do eagerly, the denominator to the laziness
+#: profiler's never-forced thunks.  Children bound once; each driver
+#: iteration pays a single integer add.
+_DRIVER_ELEMENTS = REGISTRY.counter(
+    "maya_driver_elements_total",
+    "Elements parsed by the incremental drivers, by driver loop.",
+    ("driver",))
+_STMT_ELEMENTS = _DRIVER_ELEMENTS.labels("block_stmts")
+_MEMBER_ELEMENTS = _DRIVER_ELEMENTS.labels("members")
+_DECL_ELEMENTS = _DRIVER_ELEMENTS.labels("compilation_unit")
 
 
 def _skip_to_boundary(tokens: List[Token], position: int) -> int:
@@ -47,6 +60,7 @@ def parse_block_stmts(ctx, tokens: List[Token]) -> n.BlockStmts:
         parser = Parser(ctx.env.tables(), ctx)
         stmt, position = parser.parse("Statement", tokens,
                                       allow_prefix=True, offset=position)
+        _STMT_ELEMENTS.value += 1
         if isinstance(stmt, n.UseStmt) and getattr(stmt, "pending", False):
             stmt.pending = False
             child_env = ctx.env.child()
@@ -77,6 +91,7 @@ def parse_members(ctx, tokens: List[Token]) -> List[object]:
                 raise
             position = _skip_to_boundary(tokens, position)
             continue
+        _MEMBER_ELEMENTS.value += 1
         if isinstance(member, n.UseDecl):
             child_env = ctx.env.child()
             member.metaprogram.run(child_env)
@@ -101,6 +116,7 @@ def parse_compilation_unit(ctx, tokens: List[Token]) -> n.CompilationUnit:
                 raise
             position = _skip_to_boundary(tokens, position)
             continue
+        _DECL_ELEMENTS.value += 1
         if isinstance(decl, n.PackageDecl):
             package = decl
             ctx.env.package = ".".join(decl.parts)

@@ -42,6 +42,15 @@ from repro.dispatch.specializers import (
 _PLAN_STATS = perf.cache_stats("dispatch.plans")
 _ORDER_STATS = perf.cache_stats("dispatch.orders")
 
+#: Reductions routed through the dispatcher, split by whether any Mayan
+#: was in scope (children bound once: the hot path pays one inc).
+_DISPATCH_TOTAL = perf.REGISTRY.counter(
+    "maya_dispatch_reductions_total",
+    "Reductions routed through the Mayan dispatcher, by path.",
+    ("path",))
+_DISPATCH_FAST = _DISPATCH_TOTAL.labels("base")
+_DISPATCH_MAYAN = _DISPATCH_TOTAL.labels("mayan")
+
 
 class DispatchError(DiagnosticError):
     """A Mayan dispatch failure."""
@@ -208,6 +217,7 @@ class Dispatcher:
             # Fast path: no Mayans imported on this production anywhere
             # in scope — go straight to the built-in action with no
             # list/closure allocation and no specificity work.
+            _DISPATCH_FAST.value += 1
             base = self.base_actions.get(production)
             if base is not None:
                 return base(ctx, values, location)
@@ -215,6 +225,7 @@ class Dispatcher:
                 f"{location}: no semantic action applies to [{production}]"
             )
 
+        _DISPATCH_MAYAN.value += 1
         candidates = plan.candidates
         mask = 0
         bindings_at: List[Optional[Dict[str, object]]] = []

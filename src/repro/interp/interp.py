@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.ast import nodes as n
 from repro.core import CompiledProgram, MayaError
 from repro.diag import DiagnosticError
+from repro.obs import lazy as obs_lazy
 from repro.interp.builtins import StreamPeer, build_table
 from repro.interp.values import (
     JavaArray,
@@ -351,6 +352,7 @@ class Interpreter:
                 f"{self.max_steps} statements"
             )
         if isinstance(stmt, n.LazyNode):
+            obs_lazy.thunk_forcing(stmt)
             self.exec_stmt(stmt.force(), frame)
         elif isinstance(stmt, n.Block):
             self.exec_block(stmt.body, frame)

@@ -20,9 +20,25 @@ Options:
                       dispatch / Mayan spans with before/after
                       rewrites) to stderr after compiling
     --trace-out FILE  write the trace as JSONL (span records plus a
-                      final metrics record) to FILE
+                      final metrics record) to FILE; ``-`` for stdout
     --provenance      with --expand, annotate generated statements
                       with the Mayan/template/use-site that made them
+    --metrics-out FILE
+                      write the metrics registry (cache, dispatch,
+                      phase-timing, laziness, span counts) to FILE;
+                      ``-`` for stdout
+    --metrics-format prom|json
+                      metrics output format (default prom: Prometheus
+                      text exposition)
+    --flamegraph FILE write a flamegraph of the compile's span tree to
+                      FILE; ``-`` for stdout
+    --flamegraph-format speedscope|folded
+                      flamegraph format (default speedscope: JSON that
+                      loads at https://www.speedscope.app; folded:
+                      flamegraph.pl collapsed stacks)
+    --lazy-report     print the laziness profile (lazy thunks created
+                      vs. forced, per phase and production, and the
+                      never-parsed fraction) to stderr
 
 The macro library is registered by default, so sources can say
 ``use maya.util.ForEach;`` etc.
@@ -30,7 +46,9 @@ The macro library is registered by default, so sources can say
 Unlike the paper's mayac (which stops at the first error), this front
 end keeps compiling past recoverable errors and renders every collected
 diagnostic — source line, caret, notes, expansion backtrace — to
-stderr, exiting 1.
+stderr, exiting 1.  Output files that cannot be written are reported
+the same way (a rendered diagnostic, non-zero exit), never as a Python
+traceback.
 """
 
 from __future__ import annotations
@@ -43,11 +61,16 @@ from repro.diag import (
     DEFAULT_EXPANSION_DEPTH,
     DEFAULT_MAX_ERRORS,
     CompileFailed,
+    Diagnostic,
     DiagnosticError,
 )
 from repro.interp import Interpreter
 from repro.macros import install_macro_library
 from repro.multijava import install_multijava
+from repro.obs import export as obs_export
+from repro.obs import flamegraph as obs_flame
+from repro.obs import lazy as obs_lazy
+from repro.obs.metrics import REGISTRY
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,10 +105,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="print the expansion trace to stderr")
     parser.add_argument("--trace-out", metavar="FILE",
-                        help="write the trace as JSONL to FILE")
+                        help="write the trace as JSONL to FILE "
+                             "('-' for stdout)")
     parser.add_argument("--provenance", action="store_true",
                         help="with --expand, annotate generated "
                              "statements with their origin")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the metrics registry to FILE "
+                             "('-' for stdout)")
+    parser.add_argument("--metrics-format", choices=("prom", "json"),
+                        default="prom",
+                        help="metrics output format (default %(default)s)")
+    parser.add_argument("--flamegraph", metavar="FILE",
+                        help="write a flamegraph of the compile's spans "
+                             "to FILE ('-' for stdout)")
+    parser.add_argument("--flamegraph-format",
+                        choices=("speedscope", "folded"),
+                        default="speedscope",
+                        help="flamegraph format (default %(default)s)")
+    parser.add_argument("--lazy-report", action="store_true",
+                        help="print the laziness profile (thunks created "
+                             "vs. forced) to stderr")
     return parser
 
 
@@ -106,14 +146,40 @@ def _report(engine, error: BaseException) -> None:
     print(f"mayac: {count} error{plural}", file=sys.stderr)
 
 
+def _write_output(path: str, text: str, engine, what: str) -> bool:
+    """Write exporter output to a path ('-' = stdout).  Failures render
+    as a diagnostic (never a traceback); returns False on failure so
+    the caller can exit non-zero."""
+    if path == "-":
+        sys.stdout.write(text)
+        return True
+    try:
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(text)
+        return True
+    except OSError as error:
+        reason = error.strerror or str(error)
+        diagnostic = Diagnostic(
+            f"cannot write {what} to {path}: {reason}", phase="general",
+        )
+        print(engine.render(diagnostic), file=sys.stderr)
+        return False
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.table_cache:
         from repro.lalr.tables import enable_disk_cache
 
         enable_disk_cache(args.table_cache)
-    profiler = perf.activate(perf.Profiler()) if args.profile else None
-    tracer = trace.activate() if (args.trace or args.trace_out) else None
+    # --metrics-out wants phase timings and laziness figures covered,
+    # so it implies both profilers; each stays independently available.
+    want_profiler = args.profile or args.metrics_out
+    want_lazy = args.lazy_report or args.metrics_out
+    want_tracer = args.trace or args.trace_out or args.flamegraph
+    profiler = perf.activate(perf.Profiler()) if want_profiler else None
+    lazy_profiler = obs_lazy.activate() if want_lazy else None
+    tracer = trace.activate() if want_tracer else None
     compiler = MayaCompiler()
     engine = compiler.env.diag
     engine.max_errors = max(1, args.max_errors)
@@ -127,27 +193,47 @@ def main(argv=None) -> int:
 
     def finish(code: int) -> int:
         if profiler is not None:
-            print(profiler.render(dispatcher=compiler.env.dispatcher),
-                  file=sys.stderr)
+            if args.profile:
+                print(profiler.render(dispatcher=compiler.env.dispatcher),
+                      file=sys.stderr)
             perf.deactivate()
+        if lazy_profiler is not None:
+            if args.lazy_report:
+                print(lazy_profiler.render(), file=sys.stderr)
+            obs_lazy.deactivate()
         if tracer is not None:
             if args.trace:
                 print(tracer.render(), file=sys.stderr)
             if args.trace_out:
-                metrics = {
-                    "dispatches": compiler.env.dispatcher.dispatch_count,
-                    "caches": [s.snapshot() for s in perf.all_cache_stats()
-                               if s.lookups or s.evictions],
-                }
+                # One metrics schema everywhere: the trace's final
+                # metrics record is the registry snapshot (the same
+                # payload --metrics-out json writes).
+                metrics = obs_export.to_json(REGISTRY)
                 if profiler is not None:
                     metrics["profile"] = profiler.snapshot()
-                try:
-                    with open(args.trace_out, "w", encoding="utf-8") as out:
-                        out.write(tracer.to_jsonl(metrics))
-                except OSError as error:
-                    print(f"mayac: cannot write {args.trace_out}: "
-                          f"{error.strerror}", file=sys.stderr)
+                if lazy_profiler is not None:
+                    metrics["laziness"] = lazy_profiler.snapshot()
+                if not _write_output(args.trace_out,
+                                     tracer.to_jsonl(metrics),
+                                     engine, "trace"):
+                    code = max(code, 1)
+            if args.flamegraph:
+                if args.flamegraph_format == "folded":
+                    text = obs_flame.folded_stacks(tracer)
+                else:
+                    text = obs_flame.to_speedscope_text(
+                        tracer, name=" ".join(args.files))
+                if not _write_output(args.flamegraph, text,
+                                     engine, "flamegraph"):
+                    code = max(code, 1)
             trace.deactivate()
+        if args.metrics_out:
+            if args.metrics_format == "json":
+                text = obs_export.to_json_text(REGISTRY)
+            else:
+                text = obs_export.to_prometheus(REGISTRY)
+            if not _write_output(args.metrics_out, text, engine, "metrics"):
+                code = max(code, 1)
         return code
 
     program = None

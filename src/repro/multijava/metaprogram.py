@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ast import nodes as n
 from repro.dispatch import Mayan, MetaProgram
+from repro.obs import lazy as obs_lazy
 from repro.javalang import node_symbol
 from repro.typecheck import Scope, check_block, resolve_type_name
 from repro.types import ClassType, VOID
@@ -320,6 +321,7 @@ class MultiJava(MetaProgram):
                                     formal)
             body = member.body
             if isinstance(body, n.LazyNode):
+                obs_lazy.thunk_forcing(body)
                 body = body.force(method_scope)
                 member.body = body
             if isinstance(body, n.BlockStmts):

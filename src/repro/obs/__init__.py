@@ -1,0 +1,39 @@
+"""repro.obs: the telemetry subsystem.
+
+Three layers (see DESIGN.md "Telemetry"):
+
+* :mod:`repro.obs.metrics` — labelled Counter/Gauge/Histogram families
+  in a process-wide :data:`~repro.obs.metrics.REGISTRY`; every other
+  telemetry producer (``repro.perf``'s cache stats and profiler, the
+  span tracer, the laziness profiler, the dispatcher) records here.
+* :mod:`repro.obs.export` / :mod:`repro.obs.flamegraph` — exporters:
+  Prometheus text exposition, structured JSON (the one metrics schema),
+  folded stacks, and speedscope JSON from the tracer's span trees.
+* :mod:`repro.obs.lazy` — the laziness profiler: thunks created vs.
+  forced per phase and production, measuring the paper's lazy
+  parse/check claim (``mayac --lazy-report``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs import export, flamegraph, lazy
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "export",
+    "flamegraph",
+    "lazy",
+]

@@ -1,0 +1,78 @@
+"""Metric exporters: Prometheus text exposition and structured JSON.
+
+The Prometheus exporter follows the text exposition format version
+0.0.4 (``# HELP`` / ``# TYPE`` comments, escaped label values,
+cumulative ``_bucket``/``_sum``/``_count`` series for histograms), so
+``mayac --metrics-out - --metrics-format prom`` emits something a
+Prometheus scrape — or ``promtool check metrics`` — accepts verbatim.
+The JSON exporter is the registry snapshot plus a schema tag; it is the
+*same* payload the ``--trace-out`` JSONL metrics record embeds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, REGISTRY
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (text.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(float(value), "g")
+
+
+def _labels_text(labelnames, labelvalues, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = [f'{name}="{_escape_label_value(value)}"'
+             for name, value in zip(labelnames, labelvalues)]
+    if extra:
+        pairs.extend(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in extra.items())
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    registry = registry if registry is not None else REGISTRY
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.samples():
+            if family.kind == "histogram":
+                for bound, cumulative in child.cumulative():
+                    labels = _labels_text(family.labelnames, labelvalues,
+                                          {"le": bound})
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                base = _labels_text(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{base} "
+                             f"{_format_value(child.total)}")
+                lines.append(f"{family.name}_count{base} {child.count}")
+            else:
+                labels = _labels_text(family.labelnames, labelvalues)
+                lines.append(f"{family.name}{labels} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """The registry snapshot as plain data (one schema everywhere)."""
+    registry = registry if registry is not None else REGISTRY
+    return registry.snapshot()
+
+
+def to_json_text(registry: Optional[MetricsRegistry] = None) -> str:
+    return json.dumps(to_json(registry), indent=2, sort_keys=True) + "\n"

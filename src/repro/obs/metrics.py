@@ -1,0 +1,393 @@
+"""The metrics model: labelled counters, gauges, and histograms in a
+process-wide registry.
+
+Every telemetry producer in the compiler — cache statistics, the phase
+profiler, the dispatcher, the span tracer, the laziness profiler —
+records into one :data:`REGISTRY` of named metric families, so every
+consumer (``mayac --profile``, ``--metrics-out``, the ``--trace-out``
+JSONL metrics record) renders *the same numbers* instead of three
+ad-hoc counter models.  The design follows the Prometheus data model:
+
+* a **family** has a name (``maya_cache_events_total``), a help string,
+  a kind (counter / gauge / histogram), and a fixed tuple of label
+  names;
+* ``family.labels(cache="dispatch.plans", event="hit")`` returns the
+  **child** for one label combination — a tiny object holding a number
+  (or buckets), cheap enough to bind once at import time and bump on a
+  hot path;
+* the registry rejects a second registration of the same name with a
+  different kind or label set (a collision would silently merge
+  unrelated series).
+
+Nothing here imports the rest of the compiler, so any module may
+depend on it without cycles.  The module also tracks the *current
+compiler phase* (pushed by ``perf.phase``): label-attribution for
+metrics recorded deep inside a phase, e.g. lazy-thunk forcing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(Exception):
+    """A metrics-model misuse: bad name, label mismatch, or a
+    registration collision."""
+
+
+def sanitize_name(raw: str) -> str:
+    """A best-effort valid metric-name fragment from free-form text
+    (``expansion.depth`` -> ``expansion_depth``)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", raw).strip("_")
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+# ---------------------------------------------------------------------------
+# Children: one label combination's value
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """A bucketed distribution of observations.
+
+    Default bounds are powers of two — right for the compiler's shape
+    metrics (dispatch depth, fuel consumed, expansion counts), where a
+    single counter hides the tail.  Bounds are upper-inclusive and the
+    last bucket is open-ended (``+Inf`` in Prometheus terms).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "bounds")
+
+    #: Default upper bounds (inclusive) of the buckets.
+    BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def __init__(self, name: str = "", bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else self.BOUNDS
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise MetricError(f"histogram bounds must be sorted and "
+                              f"non-empty: {self.bounds!r}")
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """(upper-bound label, cumulative count) pairs, ending at
+        ``+Inf`` — the Prometheus histogram exposition shape."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, hits in zip(self.bounds, self.buckets):
+            running += hits
+            out.append((format(bound, "g"), running))
+        out.append(("+Inf", running + self.buckets[-1]))
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 3),
+            "buckets": {
+                (f"<={format(bound, 'g')}" if index < len(self.bounds)
+                 else f">{format(self.bounds[-1], 'g')}"): hits
+                for index, (bound, hits) in enumerate(
+                    zip(self.bounds + (self.bounds[-1],), self.buckets))
+                if hits
+            },
+        }
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = self.max = None
+        self.buckets = [0] * (len(self.bounds) + 1)
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"min={self.min}, max={self.max}, mean={self.mean:.2f})")
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+
+class MetricFamily:
+    """All children of one named metric, keyed by label values.
+
+    A family with no label names proxies the child API directly
+    (``family.inc()``, ``family.set()``, ``family.observe()``), so
+    unlabelled metrics stay one attribute access away.
+    """
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_children", "_bounds")
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: Sequence[str] = (),
+                 bounds: Optional[Sequence[float]] = None):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"bad metric name {name!r}")
+        if kind not in _KINDS:
+            raise MetricError(f"bad metric kind {kind!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"bad label name {label!r} on {name}")
+        if len(set(labelnames)) != len(tuple(labelnames)):
+            raise MetricError(f"duplicate label names on {name}")
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._bounds = tuple(bounds) if bounds is not None else None
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self.name, bounds=self._bounds)
+        return _KINDS[self.kind]()
+
+    def labels(self, *values, **kwvalues):
+        """The child for one label-value combination (created on first
+        use).  Accepts positional values in label order or keywords."""
+        if kwvalues:
+            if values:
+                raise MetricError("mix of positional and keyword labels")
+            try:
+                values = tuple(kwvalues.pop(name) for name in self.labelnames)
+            except KeyError as missing:
+                raise MetricError(
+                    f"{self.name}: missing label {missing.args[0]!r}"
+                ) from None
+            if kwvalues:
+                raise MetricError(
+                    f"{self.name}: unknown labels {sorted(kwvalues)}"
+                )
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {len(key)} values"
+            )
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def samples(self) -> Iterator[Tuple[Tuple[str, ...], object]]:
+        """(label values, child) pairs in sorted label order."""
+        for key in sorted(self._children):
+            yield key, self._children[key]
+
+    # -- unlabelled convenience -------------------------------------------
+
+    def _solo(self):
+        if self.labelnames:
+            raise MetricError(f"{self.name} has labels {self.labelnames}; "
+                              f"call .labels(...) first")
+        return self._children[()]
+
+    def inc(self, amount: float = 1) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self):
+        return self._solo().value
+
+    def _reset(self) -> None:
+        # Reset in place (never drop children): hot paths bind children
+        # once at import time and keep bumping the same objects.
+        for child in self._children.values():
+            child._reset()
+
+    def __repr__(self) -> str:
+        return (f"<{self.kind} family {self.name} "
+                f"labels={list(self.labelnames)} "
+                f"children={len(self._children)}>")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """A process-wide, name-keyed collection of metric families."""
+
+    def __init__(self):
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, name: str, help_text: str, kind: str,
+                  labelnames: Sequence[str],
+                  bounds: Optional[Sequence[float]] = None) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise MetricError(
+                    f"metric {name} already registered as a {family.kind}, "
+                    f"not a {kind}"
+                )
+            if family.labelnames != tuple(labelnames):
+                raise MetricError(
+                    f"metric {name} already registered with labels "
+                    f"{family.labelnames}, not {tuple(labelnames)}"
+                )
+            return family
+        family = MetricFamily(name, help_text, kind, labelnames, bounds)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  bounds: Optional[Sequence[float]] = None) -> MetricFamily:
+        return self._register(name, help_text, "histogram", labelnames, bounds)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything the registry knows, as plain JSON-able data — the
+        one metrics schema shared by ``--metrics-out``, the
+        ``--trace-out`` metrics record, and the profiler's views."""
+        families = []
+        for family in self.families():
+            samples = []
+            for labelvalues, child in family.samples():
+                labels = dict(zip(family.labelnames, labelvalues))
+                if family.kind == "histogram":
+                    samples.append({"labels": labels, **child.snapshot()})
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            families.append({
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            })
+        return {"schema": "maya.metrics/1", "families": families}
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every family (or those whose name has ``prefix``) —
+        for tests and per-run profiler isolation; families stay
+        registered so bound children remain valid."""
+        for name, family in self._families.items():
+            if name.startswith(prefix):
+                family._reset()
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry families={len(self._families)}>"
+
+
+#: The process-wide registry every compiler subsystem records into.
+REGISTRY = MetricsRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Current compiler phase (pushed by perf.phase) — label attribution
+# for metrics recorded while a phase is active.
+# ---------------------------------------------------------------------------
+
+_phase_stack: List[str] = []
+
+
+def push_phase(name: str) -> None:
+    _phase_stack.append(name)
+
+
+def pop_phase() -> None:
+    if _phase_stack:
+        _phase_stack.pop()
+
+
+def current_phase() -> str:
+    """The innermost active compiler phase, or "" outside any phase."""
+    return _phase_stack[-1] if _phase_stack else ""

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import perf, trace
 from repro.diag import DiagnosticError, SourceSpan
+from repro.obs import lazy as obs_lazy
 from repro.ast import nodes as n
 from repro.grammar import Symbol
 from repro.hygiene.analysis import analyze_template
@@ -230,7 +231,8 @@ class _Replay:
                         origins.pop()
 
             lazy._parse = parse
-            return PseudoToken(group.group.kind, lazy, group.group.location)
+            return PseudoToken(group.group.kind, obs_lazy.thunk_created(lazy),
+                               group.group.location)
         value = self.build(group.content, ctx)
         return PseudoToken(group.group.kind, value, group.group.location)
 

@@ -1,12 +1,19 @@
 """Performance instrumentation: cache statistics and phase profiling.
 
-Every cache in the compiler (parse tables, dispatch plans, template
-compilations, ...) registers a named :class:`CacheStats` here, so hit
-rates are observable in one place — ``mayac --profile`` renders them
-after a compile.  A :class:`Profiler` additionally collects wall-clock
-time per compiler phase while one is active; when no profiler is
-active, ``phase()`` is a no-op context manager so the hot paths pay
-nothing beyond a module-attribute check.
+Since the telemetry unification (DESIGN.md "Telemetry") this module is
+a thin facade over :data:`repro.obs.metrics.REGISTRY` — the hand-rolled
+counter dicts are gone.  :class:`CacheStats` is a view over the
+``maya_cache_events_total{cache,event}`` counter family, and
+:class:`Profiler` over the ``maya_phase_*`` / ``maya_events_total``
+families plus registry histograms; both keep their historical APIs so
+every existing call site (and the ``--profile`` output) is unchanged,
+while ``--metrics-out`` exports the same numbers in Prometheus or JSON
+form.
+
+A :class:`Profiler` collects wall-clock time per compiler phase while
+one is active; when no profiler is active, ``phase()`` only maintains
+the current-phase stack (label attribution for the laziness profiler)
+— the hot paths pay a list append/pop per *phase*, not per node.
 """
 
 from __future__ import annotations
@@ -15,30 +22,83 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import REGISTRY, Histogram, sanitize_name
+
+#: Cache hit/miss/eviction/invalidation events for every named cache.
+_CACHE_EVENTS = REGISTRY.counter(
+    "maya_cache_events_total",
+    "Compiler cache events (parse tables, dispatch plans, templates, ...).",
+    ("cache", "event"))
+
+#: Wall-clock per compiler phase, recorded by the active Profiler.
+_PHASE_SECONDS = REGISTRY.counter(
+    "maya_phase_seconds_total",
+    "Wall-clock seconds spent per compiler phase (profiled runs).",
+    ("phase",))
+_PHASE_RUNS = REGISTRY.counter(
+    "maya_phase_runs_total",
+    "Times each compiler phase ran (profiled runs).",
+    ("phase",))
+
+#: Free-form profiler counters (expansions, template instantiations...).
+_EVENTS = REGISTRY.counter(
+    "maya_events_total",
+    "Free-form compiler events recorded by the profiler.",
+    ("name",))
+
+#: Profiler histograms by their free-form name ("expansion.depth" ->
+#: registry family maya_expansion_depth); children keep the free-form
+#: name so profiler snapshots stay stable.
+_HISTOGRAMS: Dict[str, Histogram] = {}
+
+#: Families the Profiler owns — reset when a fresh Profiler activates,
+#: so each profiled run reports its own numbers (cache stats are
+#: process-wide and deliberately not reset).
+_PROFILER_FAMILIES = ("maya_phase_seconds_total", "maya_phase_runs_total",
+                      "maya_events_total")
+
 
 class CacheStats:
-    """Hit/miss/eviction counters for one named cache."""
+    """Hit/miss/eviction counters for one named cache (a view over the
+    ``maya_cache_events_total`` registry family)."""
 
-    __slots__ = ("name", "hits", "misses", "evictions", "invalidations")
+    __slots__ = ("name", "_hits", "_misses", "_evictions", "_invalidations")
 
     def __init__(self, name: str):
         self.name = name
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self._hits = _CACHE_EVENTS.labels(name, "hit")
+        self._misses = _CACHE_EVENTS.labels(name, "miss")
+        self._evictions = _CACHE_EVENTS.labels(name, "eviction")
+        self._invalidations = _CACHE_EVENTS.labels(name, "invalidation")
 
     def hit(self) -> None:
-        self.hits += 1
+        self._hits.value += 1
 
     def miss(self) -> None:
-        self.misses += 1
+        self._misses.value += 1
 
     def evict(self) -> None:
-        self.evictions += 1
+        self._evictions.value += 1
 
     def invalidate(self) -> None:
-        self.invalidations += 1
+        self._invalidations.value += 1
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
 
     @property
     def lookups(self) -> int:
@@ -50,7 +110,9 @@ class CacheStats:
         return self.hits / lookups if lookups else 0.0
 
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = self.invalidations = 0
+        for child in (self._hits, self._misses, self._evictions,
+                      self._invalidations):
+            child.value = 0
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -67,94 +129,45 @@ class CacheStats:
                 f"{self.hit_rate:.1%})")
 
 
-_CACHES: Dict[str, CacheStats] = {}
+#: CacheStats views by cache name (the counters themselves live in the
+#: registry; this only avoids re-binding label children on every call).
+_CACHE_VIEWS: Dict[str, CacheStats] = {}
 
 
 def cache_stats(name: str) -> CacheStats:
-    """The (process-wide) stats object for a named cache."""
-    stats = _CACHES.get(name)
+    """The (process-wide) stats view for a named cache."""
+    stats = _CACHE_VIEWS.get(name)
     if stats is None:
-        stats = _CACHES[name] = CacheStats(name)
+        stats = _CACHE_VIEWS[name] = CacheStats(name)
     return stats
 
 
 def all_cache_stats() -> List[CacheStats]:
-    return [_CACHES[name] for name in sorted(_CACHES)]
+    """Every cache the registry has seen events for (including caches
+    whose CacheStats were constructed directly)."""
+    names = {labels[0] for labels, _ in _CACHE_EVENTS.samples()}
+    return [cache_stats(name) for name in sorted(names)]
 
 
 def reset_cache_stats() -> None:
-    for stats in _CACHES.values():
+    for stats in all_cache_stats():
         stats.reset()
-
-
-class Histogram:
-    """A power-of-two-bucketed distribution of integer observations.
-
-    Used for per-compile shape metrics: Mayan dispatch depth, fuel
-    consumed, expansion counts per production — anywhere a single
-    counter hides the tail.
-    """
-
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
-
-    #: Upper bounds (inclusive) of the buckets; the last is open-ended.
-    BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128)
-
-    def __init__(self, name: str):
-        self.name = name
-        self.count = 0
-        self.total = 0
-        self.min: Optional[int] = None
-        self.max: Optional[int] = None
-        self.buckets = [0] * (len(self.BOUNDS) + 1)
-
-    def observe(self, value: int) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for index, bound in enumerate(self.BOUNDS):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> Dict[str, object]:
-        return {
-            "name": self.name,
-            "count": self.count,
-            "min": self.min,
-            "max": self.max,
-            "mean": round(self.mean, 3),
-            "buckets": {
-                (f"<={bound}" if index < len(self.BOUNDS) else
-                 f">{self.BOUNDS[-1]}"): hits
-                for index, (bound, hits) in enumerate(
-                    zip(self.BOUNDS + (self.BOUNDS[-1],), self.buckets))
-                if hits
-            },
-        }
-
-    def __repr__(self) -> str:
-        return (f"Histogram({self.name}: n={self.count}, "
-                f"min={self.min}, max={self.max}, mean={self.mean:.2f})")
 
 
 class Profiler:
     """Per-phase wall-clock timings plus free-form counters and
-    histograms."""
+    histograms — a per-run view over the registry's profiler families.
+
+    Constructing a Profiler zeroes those families (and only those), so
+    each ``--profile`` run reports its own numbers while process-wide
+    metrics like cache stats keep accumulating.
+    """
 
     def __init__(self):
-        self.phase_seconds: Dict[str, float] = {}
-        self.phase_counts: Dict[str, int] = {}
-        self.counters: Dict[str, int] = {}
-        self.histograms: Dict[str, Histogram] = {}
+        for name in _PROFILER_FAMILIES:
+            REGISTRY.reset(name)
+        for histogram in _HISTOGRAMS.values():
+            histogram._reset()
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
@@ -163,26 +176,57 @@ class Profiler:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
-            self.phase_counts[name] = self.phase_counts.get(name, 0) + 1
+            _PHASE_SECONDS.labels(name).inc(elapsed)
+            _PHASE_RUNS.labels(name).inc()
 
     def count(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        _EVENTS.labels(name).inc(amount)
 
     def observe(self, name: str, value: int) -> None:
         """Record one observation in a named histogram."""
-        histogram = self.histograms.get(name)
+        histogram = _HISTOGRAMS.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(name)
+            family = REGISTRY.histogram(
+                "maya_" + sanitize_name(name),
+                f"Profiler histogram {name!r}.")
+            histogram = _HISTOGRAMS[name] = family._solo()
+            histogram.name = name  # snapshots keep the free-form name
         histogram.observe(value)
 
+    # -- registry-backed views (the historical attribute API) -------------
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        return {labels[0]: child.value
+                for labels, child in _PHASE_SECONDS.samples()
+                if child.value}
+
+    @property
+    def phase_counts(self) -> Dict[str, int]:
+        return {labels[0]: child.value
+                for labels, child in _PHASE_RUNS.samples()
+                if child.value}
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {labels[0]: child.value
+                for labels, child in _EVENTS.samples()
+                if child.value}
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return {name: histogram
+                for name, histogram in _HISTOGRAMS.items()
+                if histogram.count}
+
     def snapshot(self) -> Dict[str, object]:
-        """Everything the profiler knows, as plain data (for the trace
-        JSONL export's metrics record)."""
+        """Everything the profiler knows, as plain data (embedded in
+        the trace JSONL export's metrics record)."""
+        phase_counts = self.phase_counts
         return {
             "phases": {
                 name: {"ms": round(seconds * 1e3, 3),
-                       "count": self.phase_counts.get(name, 0)}
+                       "count": phase_counts.get(name, 0)}
                 for name, seconds in sorted(self.phase_seconds.items())
             },
             "counters": dict(sorted(self.counters.items())),
@@ -193,26 +237,30 @@ class Profiler:
     def render(self, dispatcher=None) -> str:
         """A human-readable profile report (for ``mayac --profile``)."""
         lines = ["== mayac profile =="]
-        if self.phase_seconds:
+        phase_seconds = self.phase_seconds
+        phase_counts = self.phase_counts
+        if phase_seconds:
             lines.append("phase timings:")
-            total = sum(self.phase_seconds.values())
-            for name in sorted(self.phase_seconds,
-                               key=self.phase_seconds.get, reverse=True):
-                seconds = self.phase_seconds[name]
+            total = sum(phase_seconds.values())
+            for name in sorted(phase_seconds,
+                               key=phase_seconds.get, reverse=True):
+                seconds = phase_seconds[name]
                 lines.append(
                     f"  {name:<18} {seconds * 1e3:9.2f} ms"
-                    f"  ({self.phase_counts[name]}x)"
+                    f"  ({phase_counts[name]}x)"
                 )
             lines.append(f"  {'total':<18} {total * 1e3:9.2f} ms")
         if dispatcher is not None:
             lines.append(f"dispatch: {dispatcher.dispatch_count} reductions "
                          f"dispatched")
-        for name in sorted(self.counters):
-            lines.append(f"counter: {name} = {self.counters[name]}")
-        if self.histograms:
+        counters = self.counters
+        for name in sorted(counters):
+            lines.append(f"counter: {name} = {counters[name]}")
+        histograms = self.histograms
+        if histograms:
             lines.append("histograms:")
-            for name in sorted(self.histograms):
-                histogram = self.histograms[name]
+            for name in sorted(histograms):
+                histogram = histograms[name]
                 lines.append(
                     f"  {name:<22} n={histogram.count:<6} "
                     f"min={histogram.min} max={histogram.max} "
@@ -248,10 +296,16 @@ def deactivate() -> None:
 
 @contextmanager
 def phase(name: str) -> Iterator[None]:
-    """Time a compiler phase under the active profiler, if any."""
+    """Time a compiler phase under the active profiler, if any.  Always
+    maintains the current-phase stack so phase-attributed metrics (the
+    laziness profiler) work without a Profiler."""
+    _metrics.push_phase(name)
     profiler = active
-    if profiler is None:
-        yield
-    else:
-        with profiler.timed(name):
+    try:
+        if profiler is None:
             yield
+        else:
+            with profiler.timed(name):
+                yield
+    finally:
+        _metrics.pop_phase()

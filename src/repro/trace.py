@@ -34,9 +34,16 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
 from repro.diag import SourceSpan
+from repro.obs.metrics import REGISTRY
 
 #: How many origin links a diagnostic renders before eliding.
 MAX_ORIGIN_NOTES = 8
+
+#: Span counts land in the process-wide metrics registry so a trace's
+#: shape (how many dispatch/expand/template spans) is scrapeable even
+#: when the span tree itself is not exported.
+_SPANS_TOTAL = REGISTRY.counter(
+    "maya_trace_spans_total", "Trace spans recorded, by kind.", ("kind",))
 
 
 class Origin:
@@ -205,6 +212,7 @@ class Tracer:
         span = Span(self._next_id, parent.id if parent else None,
                     kind, name, attrs, time.perf_counter())
         self._next_id += 1
+        _SPANS_TOTAL.labels(kind).inc()
         if parent is not None:
             parent.children.append(span)
         else:

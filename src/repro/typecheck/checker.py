@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.ast import nodes as n
 from repro.diag import Diagnostic, DiagnosticError, SourceSpan
+from repro.obs import lazy as obs_lazy
 from repro.types import (
     ArrayType,
     BOOLEAN,
@@ -513,6 +514,7 @@ def check_block(block: n.BlockStmts, scope: Scope) -> None:
     while index < len(stmts):
         stmt = stmts[index]
         if isinstance(stmt, n.LazyNode):
+            obs_lazy.thunk_forcing(stmt)
             forced = stmt.force(scope)
             if isinstance(forced, n.BlockStmts):
                 stmts[index:index + 1] = forced.stmts
@@ -528,6 +530,7 @@ def check_block(block: n.BlockStmts, scope: Scope) -> None:
 
 def check_statement(stmt, scope: Scope) -> None:
     if isinstance(stmt, n.LazyNode):
+        obs_lazy.thunk_forcing(stmt)
         check_statement(stmt.force(scope), scope)
         return
     stmt.scope = scope

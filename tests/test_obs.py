@@ -1,0 +1,447 @@
+"""The telemetry subsystem: metrics model, exporters, laziness profiler.
+
+Exporter output is golden-filed (``tests/golden/metrics.prom``,
+``tests/golden/flamegraph.speedscope.json``) from fully synthetic
+inputs — a hand-built registry and a tracer whose span clocks are
+overwritten with fixed values — so the bytes are deterministic and any
+format drift is a visible diff.  Refresh intentionally with
+``pytest tests/test_obs.py --update-goldens``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import trace
+from repro.obs import export, flamegraph
+from repro.obs import lazy as obs_lazy
+from repro.obs.metrics import (
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    sanitize_name,
+)
+from tests.conftest import compile_source
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def check_golden(name: str, text: str, request) -> None:
+    path = GOLDEN_DIR / name
+    if request.config.getoption("--update-goldens"):
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"missing golden {path.name}; run pytest --update-goldens"
+    )
+    assert text == path.read_text(), (
+        f"{path.name} drifted; rerun with --update-goldens if intended"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metrics model
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_events_total", "Events.", ("kind",))
+        family.labels("hit").inc()
+        family.labels("hit").inc(2)
+        family.labels("miss").inc()
+        samples = {
+            labels: child.value for labels, child in family.samples()
+        }
+        assert samples[("hit",)] == 3
+        assert samples[("miss",)] == 1
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "T.")
+        with pytest.raises(MetricError):
+            family.inc(-1)
+
+    def test_same_name_same_kind_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("t_total", "T.", ("kind",))
+        again = registry.counter("t_total", "T.", ("kind",))
+        assert first is again
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "T.")
+        with pytest.raises(MetricError):
+            registry.gauge("t_total", "T.")
+
+    def test_labelnames_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "T.", ("kind",))
+        with pytest.raises(MetricError):
+            registry.counter("t_total", "T.", ("kind", "extra"))
+
+    def test_invalid_metric_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("0bad-name", "Bad.")
+
+    def test_sanitize_name(self):
+        assert sanitize_name("expansion.depth") == "expansion_depth"
+        assert sanitize_name("9lives") == "_9lives"
+
+    def test_reset_keeps_bound_children_alive(self):
+        # Hot paths bind children once at import time; reset must zero
+        # them in place, never orphan them.
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "T.", ("kind",))
+        child = family.labels("hot")
+        child.inc(5)
+        registry.reset()
+        assert child.value == 0
+        child.inc()
+        assert family.labels("hot") is child
+        assert child.value == 1
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.cumulative()[-1] == ("+Inf", 0)
+
+    def test_single_sample(self):
+        h = Histogram(bounds=(1, 2, 4))
+        h.observe(3)
+        assert h.count == 1
+        assert h.mean == 3.0
+        # Cumulative counts: <=1: 0, <=2: 0, <=4: 1, +Inf: 1.
+        assert h.cumulative() == [("1", 0), ("2", 0), ("4", 1), ("+Inf", 1)]
+
+    def test_overflow_bucket(self):
+        h = Histogram(bounds=(1, 2))
+        h.observe(100)
+        assert h.cumulative() == [("1", 0), ("2", 0), ("+Inf", 1)]
+        assert h.snapshot()["buckets"][">2"] == 1
+
+    def test_cumulative_counts_are_monotone(self):
+        h = Histogram()
+        for value in (1, 1, 3, 9, 200):
+            h.observe(value)
+        counts = [count for _, count in h.cumulative()]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+
+# ---------------------------------------------------------------------------
+# Exporters (golden)
+# ---------------------------------------------------------------------------
+
+
+def synthetic_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    cache = registry.counter(
+        "demo_cache_events_total", "Cache events.", ("cache", "event"))
+    cache.labels("lru", "hit").inc(7)
+    cache.labels("lru", "miss").inc(2)
+    # Label values needing escaping: backslash, quote, newline.
+    odd = registry.counter("demo_odd_total", "Escaping.", ("path",))
+    odd.labels('a\\b"c\nd').inc()
+    gauge = registry.gauge("demo_depth", "Current depth.")
+    gauge.set(3)
+    hist = registry.histogram(
+        "demo_latency", "Latency.", bounds=(1, 2, 4))
+    for value in (0.5, 1.5, 3, 100):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusExport:
+    def test_golden(self, request):
+        text = export.to_prometheus(synthetic_registry())
+        check_golden("metrics.prom", text, request)
+
+    def test_histogram_exposition_shape(self):
+        text = export.to_prometheus(synthetic_registry())
+        assert 'demo_latency_bucket{le="+Inf"} 4' in text
+        assert "demo_latency_sum 105" in text
+        assert "demo_latency_count 4" in text
+
+    def test_label_escaping(self):
+        text = export.to_prometheus(synthetic_registry())
+        assert 'path="a\\\\b\\"c\\nd"' in text
+
+    def test_json_roundtrips(self):
+        payload = json.loads(export.to_json_text(synthetic_registry()))
+        assert payload["schema"] == "maya.metrics/1"
+        families = {f["name"]: f for f in payload["families"]}
+        assert families["demo_depth"]["kind"] == "gauge"
+        cache_samples = families["demo_cache_events_total"]["samples"]
+        assert {"cache": "lru", "event": "hit"} in \
+            [s["labels"] for s in cache_samples]
+        assert sum(s["value"] for s in cache_samples) == 9
+
+
+def synthetic_tracer() -> trace.Tracer:
+    tracer = trace.Tracer()
+    compile_span = tracer.begin("compile", "demo.maya")
+    lex = tracer.begin("phase", "lex")
+    tracer.end(lex)
+    parse = tracer.begin("phase", "parse+expand")
+    dispatch = tracer.begin("dispatch", "Statement")
+    expand = tracer.begin("expand", "EForEach")
+    tracer.end(expand)
+    tracer.end(dispatch)
+    tracer.end(parse)
+    tracer.end(compile_span)
+    # Overwrite the clocks with fixed values (seconds) so the exported
+    # milliseconds are bytes-stable.
+    compile_span.start, compile_span.end = 10.000, 10.010
+    lex.start, lex.end = 10.000, 10.001
+    parse.start, parse.end = 10.001, 10.009
+    dispatch.start, dispatch.end = 10.002, 10.008
+    expand.start, expand.end = 10.003, 10.006
+    return tracer
+
+
+class TestFlamegraphExport:
+    def test_speedscope_golden(self, request):
+        text = flamegraph.to_speedscope_text(synthetic_tracer(), name="demo")
+        check_golden("flamegraph.speedscope.json", text, request)
+
+    def test_speedscope_is_well_formed(self):
+        doc = json.loads(
+            flamegraph.to_speedscope_text(synthetic_tracer(), name="demo"))
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        profile = doc["profiles"][0]
+        assert profile["type"] == "evented"
+        assert profile["unit"] == "milliseconds"
+        events = profile["events"]
+        # Monotone timestamps, balanced O/C nesting.
+        assert all(a["at"] <= b["at"] for a, b in zip(events, events[1:]))
+        stack = []
+        for event in events:
+            if event["type"] == "O":
+                stack.append(event["frame"])
+            else:
+                assert stack.pop() == event["frame"]
+        assert stack == []
+
+    def test_folded_stacks(self):
+        folded = flamegraph.folded_stacks(synthetic_tracer())
+        lines = dict(
+            line.rsplit(" ", 1) for line in folded.splitlines()
+        )
+        # Self time in integer microseconds per unique path.
+        assert lines["compile demo.maya;phase lex"] == "1000"
+        assert lines[
+            "compile demo.maya;phase parse+expand;dispatch Statement;"
+            "expand EForEach"
+        ] == "3000"
+        # compile self-time: 10ms total - 1ms lex - 8ms parse = 1ms.
+        assert lines["compile demo.maya"] == "1000"
+
+
+# ---------------------------------------------------------------------------
+# Laziness profiler
+# ---------------------------------------------------------------------------
+
+
+PLAIN_CLASS = """
+    class Plain {
+        int one() { return 1; }
+        int two() { return 2; }
+    }
+"""
+
+TYPEDEF_CLASS = """
+    class Demo {
+        static void main() {
+            use maya.util.Typedef;
+            typedef (Table = java.util.Hashtable) {
+                Table t = new Table();
+                t.put("k", "v");
+            }
+        }
+    }
+"""
+
+
+def profile_compile(source: str, **kwargs) -> obs_lazy.LazinessProfiler:
+    profiler = obs_lazy.activate()
+    try:
+        compile_source(source, **kwargs)
+    finally:
+        obs_lazy.deactivate()
+    return profiler
+
+
+class TestLazinessProfiler:
+    def test_forced_never_exceeds_created(self):
+        for source, kwargs in (
+            (PLAIN_CLASS, {}),
+            (TYPEDEF_CLASS, {"macros": True}),
+        ):
+            profiler = profile_compile(source, **kwargs)
+            assert profiler.forced_total <= profiler.created_total
+
+    def test_fully_eager_compile_forces_everything(self):
+        # A plain class has no macros to leave work unexpanded: every
+        # method-body thunk the parser creates, the compiler forces.
+        profiler = profile_compile(PLAIN_CLASS)
+        assert profiler.created_total > 0
+        assert profiler.forced_total == profiler.created_total
+        assert profiler.never_forced_fraction == 0.0
+
+    def test_rescoped_thunks_are_never_forced(self):
+        # ``use`` rescopes the remaining lazy bodies into a child
+        # environment; the original thunks are abandoned unforced, so
+        # a macro-using program has a nonzero never-forced fraction.
+        profiler = profile_compile(TYPEDEF_CLASS, macros=True)
+        assert profiler.never_forced > 0
+        assert 0.0 < profiler.never_forced_fraction < 1.0
+
+    def test_token_accounting(self):
+        profiler = profile_compile(TYPEDEF_CLASS, macros=True)
+        assert profiler.tokens_forced_total <= profiler.tokens_created_total
+        assert 0.0 < profiler.never_parsed_token_fraction < 1.0
+
+    def test_snapshot_shape(self):
+        snapshot = profile_compile(PLAIN_CLASS).snapshot()
+        assert snapshot["thunks"]["never_forced"] == 0
+        assert snapshot["tokens"]["captured"] >= snapshot["tokens"]["parsed"]
+        # Creation and forcing happen in *different* phases (that is
+        # the point of laziness), so compare totals, not key sets.
+        assert sum(snapshot["created_by_phase_symbol"].values()) == \
+            sum(snapshot["forced_by_phase_symbol"].values())
+
+    def test_render_mentions_fractions(self):
+        text = profile_compile(TYPEDEF_CLASS, macros=True).render()
+        assert "== mayac lazy report ==" in text
+        assert "never forced" in text
+        assert "per production:" in text
+
+    def test_inactive_hooks_are_noops(self):
+        assert obs_lazy.active is None
+        profiler = profile_compile(PLAIN_CLASS)
+        created = profiler.created_total
+        # Compiling again without an active profiler must not touch the
+        # deactivated profiler's tallies.
+        compile_source(PLAIN_CLASS)
+        assert profiler.created_total == created
+
+
+# ---------------------------------------------------------------------------
+# mayac CLI surfaces
+# ---------------------------------------------------------------------------
+
+
+from repro.mayac import main as mayac_main  # noqa: E402
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.maya"
+    path.write_text("""
+        import java.util.*;
+        class Demo {
+            static void main() {
+                use maya.util.ForEach;
+                Vector v = new Vector();
+                v.addElement("obs");
+                v.elements().foreach(String s) {
+                    System.out.println(s);
+                }
+            }
+        }
+    """)
+    return str(path)
+
+
+class TestCliTelemetry:
+    def test_metrics_out_stdout_prometheus(self, demo_file, capsys):
+        assert mayac_main([demo_file, "--metrics-out", "-"]) == 0
+        out = capsys.readouterr().out
+        # The acceptance surface: cache, dispatch, phase-timing, and
+        # laziness families, in valid exposition format.
+        for family in (
+            "maya_cache_events_total",
+            "maya_dispatch_reductions_total",
+            "maya_phase_seconds_total",
+            "maya_lazy_thunks_created_total",
+            "maya_lazy_thunks_forced_total",
+        ):
+            assert family in out
+        for line in out.splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_metrics_out_json(self, demo_file, tmp_path):
+        out = tmp_path / "m.json"
+        assert mayac_main([demo_file, "--metrics-out", str(out),
+                           "--metrics-format", "json"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "maya.metrics/1"
+        names = {f["name"] for f in payload["families"]}
+        assert "maya_dispatch_reductions_total" in names
+
+    def test_metrics_out_unwritable_path(self, demo_file, capsys):
+        code = mayac_main([demo_file, "--metrics-out",
+                           "/nonexistent-dir/metrics.prom"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot write metrics" in err
+        assert "Traceback" not in err
+
+    def test_flamegraph_speedscope(self, demo_file, tmp_path):
+        out = tmp_path / "flame.json"
+        assert mayac_main([demo_file, "--flamegraph", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["profiles"][0]["type"] == "evented"
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert any(name.startswith("compile ") for name in frames)
+        assert any(name.startswith("expand ") for name in frames)
+
+    def test_flamegraph_folded(self, demo_file, capsys):
+        assert mayac_main([demo_file, "--flamegraph", "-",
+                           "--flamegraph-format", "folded"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            path, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+        assert any(";expand " in line for line in out.splitlines())
+
+    def test_flamegraph_unwritable_path(self, demo_file, capsys):
+        code = mayac_main([demo_file, "--flamegraph",
+                           "/nonexistent-dir/flame.json"])
+        assert code == 1
+        assert "cannot write flamegraph" in capsys.readouterr().err
+
+    def test_lazy_report(self, demo_file, capsys):
+        assert mayac_main([demo_file, "--lazy-report"]) == 0
+        err = capsys.readouterr().err
+        assert "== mayac lazy report ==" in err
+        assert "never forced" in err
+
+    def test_lazy_report_nonzero_never_forced(self, tmp_path, capsys):
+        # use-rescoped bodies leave abandoned thunks: a visible
+        # never-forced fraction, per the acceptance criterion.
+        path = tmp_path / "lazy.maya"
+        path.write_text("""
+            class Demo {
+                static void main() {
+                    use maya.util.Typedef;
+                    typedef (Table = java.util.Hashtable) {
+                        Table t = new Table();
+                        t.put("k", "v");
+                    }
+                }
+            }
+        """)
+        assert mayac_main([str(path), "--lazy-report"]) == 0
+        err = capsys.readouterr().err
+        import re
+        match = re.search(r"(\d+) never forced \((\d+\.\d)%", err)
+        assert match, err
+        assert int(match.group(1)) > 0

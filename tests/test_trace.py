@@ -303,8 +303,18 @@ class TestCliTrace:
         assert records[0]["type"] == "trace"
         kinds = {r["kind"] for r in records if r["type"] == "span"}
         assert {"compile", "phase", "expand"} <= kinds
-        assert records[-1]["type"] == "metrics"
-        assert records[-1]["dispatches"] > 0
+        final = records[-1]
+        assert final["type"] == "metrics"
+        # The final metrics record is a registry snapshot — the same
+        # schema --metrics-out json writes.
+        assert final["schema"] == "maya.metrics/1"
+        families = {f["name"]: f for f in final["families"]}
+        dispatches = sum(
+            s["value"]
+            for s in families["maya_dispatch_reductions_total"]["samples"]
+        )
+        assert dispatches > 0
+        assert families["maya_trace_spans_total"]["kind"] == "counter"
 
     def test_trace_out_includes_profile_metrics(self, demo_file, tmp_path,
                                                 capsys):
