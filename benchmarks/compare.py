@@ -23,6 +23,10 @@ What counts as a regression:
 * laziness percentages (``*never_forced_pct``, ``*never_parsed_pct``)
   are higher-is-better — a drop means the compiler started eagerly
   parsing work it used to skip;
+* backend speedups (``*_speedup``), dispatch throughput
+  (``*_calls_per_s``) and inline-cache hit rates (``*_hit_rate_pct``)
+  are higher-is-better — a drop means the closure backend's payoff
+  shrank;
 * a metric present in the baseline but missing from the fresh run is a
   regression too (the benchmark lost coverage);
 * anything else (counts, unclassified units) is reported as
@@ -45,6 +49,11 @@ NAME_RULES: Tuple[Tuple[str, str, float], ...] = (
     ("*never_parsed*", "higher", 0.25),
     ("overhead_ratio*", "lower", 0.50),
     ("fingerprint_size_ratio", "lower", 0.60),
+    # Backend speedup ratios (walk ms / closure ms) — a drop means the
+    # closure backend stopped paying off.
+    ("*_speedup", "higher", 0.35),
+    ("*_calls_per_s", "higher", 0.50),
+    ("*_hit_rate_pct", "higher", 0.05),
 )
 
 #: unit -> (direction, relative tolerance) when no name rule matches.

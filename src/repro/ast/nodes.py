@@ -17,6 +17,7 @@ which is more specific than ``Expression``.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Sequence, Tuple
 
 from repro.lexer import Location
@@ -87,6 +88,12 @@ __all__ = [
 ]
 
 
+def _kind_tag(class_name: str) -> str:
+    """snake_case tag for a node class name (MethodInvocation ->
+    method_invocation)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", class_name).lower()
+
+
 class Node:
     """Base class for all AST nodes."""
 
@@ -97,6 +104,16 @@ class Node:
     #: class attribute so ordinary nodes pay nothing; stamped as an
     #: instance attribute on nodes built during Mayan activations.
     origin = None
+
+    #: Stable node-kind tag: the snake_case class name, assigned
+    #: automatically for every subclass.  The closure backend dispatches
+    #: its one-pass compiler on these strings (and uses them in
+    #: telemetry labels) instead of on class identity.
+    node_kind = "node"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        cls.node_kind = _kind_tag(cls.__name__)
 
     def __init__(self, *args, location: Location = Location.UNKNOWN):
         if len(args) != len(self._fields):
@@ -390,6 +407,12 @@ class BlockStmts(Node):
     _fields = ("stmts",)
 
     stmts: List[Statement]
+
+    #: Stamped by the checker: how many bindings the enclosing method
+    #: had declared when this block finished checking.  On a method's
+    #: outermost body block this is the full per-method count, which the
+    #: closure backend uses to size slot frames.  None when unchecked.
+    declared_locals: Optional[int] = None
 
 
 class Block(Statement):

@@ -1,9 +1,14 @@
-"""A tree-walking interpreter for compiled (fully expanded) programs.
+"""Interpreters for compiled (fully expanded) programs.
 
 Stands in for the paper's bytecode backend: every expansion the macro
 library or MultiJava produces can be *run*, and the interpreter's
 operation counters (allocations, method calls, field reads) let the
 benchmarks measure what the paper's optimized expansions save.
+
+Two execution backends share one observable semantics: the seed
+tree-walker (``backend="walk"``, the default) and the closure compiler
+with slot frames and inline caches (``backend="closure"``, in
+``repro.interp.closures``).
 """
 
 from repro.interp.values import JavaArray, JavaNull, JavaObject, JavaThrow, java_str

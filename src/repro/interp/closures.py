@@ -1,0 +1,1303 @@
+"""The closure-compiled execution backend.
+
+A one-pass compiler from the *typed* AST to Python closures, selected
+with ``Interpreter(backend="closure")`` (or ``MAYA_BACKEND=closure``).
+The tree-walker re-dispatches on node type, resolves every local
+through a dict frame, and walks the class hierarchy on every virtual
+call; this backend pays those costs once per method body instead:
+
+* **Slot frames** — a per-method slot allocator assigns integer indices
+  to ``this`` (slot 0), the formals (slots 1..n, declaration order) and
+  every local (one slot per *name*, mirroring the walker's single flat
+  dict per invocation), so frames are plain Python lists.  Slot
+  ``1 + nformals`` carries the return value.
+* **Inline caches** — virtual call sites and runtime field lookups
+  cache their resolution per receiver ``ClassType`` (monomorphic dict,
+  megamorphic past ``MEGAMORPHIC`` classes), with hit/miss/megamorphic
+  counts in the ``maya_interp_ic_events_total{site,event}`` registry
+  family.  Caches are rebuilt when a compiled plan is invalidated by
+  the member epoch (``repro.types.types.MEMBER_EPOCH``), which bumps on
+  every intercession (``declare_method``/``declare_field``/
+  ``remove_method``); class members never change *during* execution.
+* **Static-type-directed fast paths** — ``int``/``boolean`` binary ops
+  compile to direct Python arithmetic, int literals fold to constants,
+  and ``+`` pre-selects string concatenation / numeric addition from
+  the checker's cached static type.
+* **Per-method plan cache** — compiled bodies live on the ``Method``
+  object (``_closure_plan``), keyed by the member epoch, so MultiJava's
+  generated ``m$impl`` dispatchers compile once and replay.
+
+Observable behaviour is kept bit-for-bit equal to the walker: the same
+operation counters are bumped at the same points, the same Java
+exceptions carry the same messages, and anything this compiler cannot
+prove it can reproduce raises :class:`ClosureCompileError`, caching a
+``WALK`` sentinel so the method transparently runs on the tree-walker.
+Statement closures return control-flow *signals* (``_RETURN`` /
+``_BREAK`` / ``_CONTINUE``) instead of raising exceptions; closures
+never capture the interpreter, so plans are shared across Interpreter
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ast import nodes as n
+from repro.core import MayaError
+from repro.interp.interp import (
+    _Break,
+    _C_ALLOCATIONS,
+    _C_ARRAY_READS,
+    _C_ARRAY_WRITES,
+    _C_FIELD_READS,
+    _C_FIELD_WRITES,
+    _C_METHOD_CALLS,
+    _C_STATEMENTS,
+    _Continue,
+    _binary_op,
+    _java_equal,
+    _num,
+    _primitive_cast,
+)
+from repro.interp.values import (
+    JavaArray,
+    JavaObject,
+    JavaThrow,
+    default_value,
+    java_str,
+)
+from repro.obs import lazy as obs_lazy
+from repro.obs.metrics import REGISTRY
+from repro.typecheck import resolve_name, resolve_type_name, static_type_of
+from repro.types import (
+    ArrayType,
+    BOOLEAN,
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    PrimitiveType,
+    SHORT,
+    array_of,
+)
+from repro.types import types as _types
+
+#: Inline-cache events by site kind (call / field / type) — surfaced in
+#: ``--profile`` and exported by ``--metrics-out``.
+_IC_EVENTS = REGISTRY.counter(
+    "maya_interp_ic_events_total",
+    "Closure-backend inline-cache events, by site kind.",
+    ("site", "event"))
+_IC_CALL_HIT = _IC_EVENTS.labels("call", "hit")
+_IC_CALL_MISS = _IC_EVENTS.labels("call", "miss")
+_IC_CALL_MEGA = _IC_EVENTS.labels("call", "megamorphic")
+_IC_FIELD_HIT = _IC_EVENTS.labels("field", "hit")
+_IC_FIELD_MISS = _IC_EVENTS.labels("field", "miss")
+_IC_FIELD_MEGA = _IC_EVENTS.labels("field", "megamorphic")
+_IC_TYPE_HIT = _IC_EVENTS.labels("type", "hit")
+_IC_TYPE_MISS = _IC_EVENTS.labels("type", "miss")
+
+#: Method-body compilations by outcome (compiled vs walk fallback).
+_COMPILES = REGISTRY.counter(
+    "maya_interp_closure_compiles_total",
+    "Closure-backend method compilations, by outcome.",
+    ("outcome",))
+_COMPILE_OK = _COMPILES.labels("compiled")
+_COMPILE_FALLBACK = _COMPILES.labels("fallback")
+
+#: Call-site cache size past which a site is megamorphic: new receiver
+#: classes stop being cached (existing entries keep hitting).
+MEGAMORPHIC = 8
+
+#: Slot value for a local that was never assigned (the walker's
+#: "name not in frame").
+_UNBOUND = object()
+
+#: Missing-key sentinel distinct from any storable value.
+_MISSING = object()
+
+#: Control-flow signals returned by statement closures.
+_RETURN = object()
+_BREAK = object()
+_CONTINUE = object()
+
+#: Plan sentinel: this method always executes on the tree-walker.
+WALK = object()
+
+_NUMERIC_TYPES = (INT, LONG, SHORT, BYTE, DOUBLE, FLOAT)
+
+
+class ClosureCompileError(Exception):
+    """A node shape the closure compiler does not reproduce exactly;
+    the method falls back to the tree-walking backend."""
+
+
+class Plan:
+    """A compiled method body: frame layout plus the body runner."""
+
+    __slots__ = ("body", "nslots", "formal_slots", "ret_slot")
+
+    def __init__(self, body, nslots: int, formal_slots, ret_slot: int):
+        self.body = body
+        self.nslots = nslots
+        self.formal_slots = formal_slots
+        self.ret_slot = ret_slot
+
+
+def plan_for(method):
+    """The cached compiled plan for a method (or the WALK sentinel).
+
+    Plans are invalidated by the member epoch, so intercession
+    (adding/removing members) forces recompilation — inline caches
+    inside the plan are rebuilt along with it.
+    """
+    cached = getattr(method, "_closure_plan", None)
+    epoch = _types.MEMBER_EPOCH
+    if cached is not None and cached[0] == epoch:
+        return cached[1]
+    try:
+        plan = _MethodCompiler(method).compile()
+        _COMPILE_OK.value += 1
+    except ClosureCompileError:
+        plan = WALK
+        _COMPILE_FALLBACK.value += 1
+    method._closure_plan = (epoch, plan)
+    return plan
+
+
+def run_plan(interp, plan: Plan, receiver, args):
+    """Execute a compiled plan (called under invoke_exact's depth
+    guard, like the walker's dict-frame body execution)."""
+    frame = [_UNBOUND] * plan.nslots
+    frame[0] = receiver
+    for slot, value in zip(plan.formal_slots, args):
+        frame[slot] = value
+    signal = plan.body(interp, frame)
+    if signal is _RETURN:
+        return frame[plan.ret_slot]
+    if signal is _BREAK:
+        raise _Break()  # walker parity: break escapes the frame
+    if signal is _CONTINUE:
+        raise _Continue()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The one-pass compiler
+# ---------------------------------------------------------------------------
+
+
+def _is_int_type(t) -> bool:
+    return t is INT or t is LONG or t is SHORT or t is BYTE
+
+
+def _is_numeric_type(t) -> bool:
+    return t in _NUMERIC_TYPES
+
+
+def _is_string_type(t) -> bool:
+    return getattr(t, "name", "") == "java.lang.String"
+
+
+class _MethodCompiler:
+    """Compiles one typed method body into a closure tree."""
+
+    def __init__(self, method):
+        decl = method.decl
+        if decl is None or decl.body is None:
+            raise ClosureCompileError("no body")
+        body = decl.body
+        if isinstance(body, n.LazyNode):
+            if not body.is_forced():
+                raise ClosureCompileError("unforced lazy body")
+            body = body.force()
+        if not isinstance(body, n.BlockStmts):
+            raise ClosureCompileError("body is not a checked block")
+        self.method = method
+        self.body = body
+        self.formals = decl.formals
+        self.slots: Dict[str, int] = {}
+        for index, formal in enumerate(self.formals):
+            self.slots[formal.name.name] = 1 + index
+        self.ret_slot = 1 + len(self.formals)
+        self.next_slot = self.ret_slot + 1
+
+    def compile(self) -> Plan:
+        runner = self.compile_block(self.body)
+        formal_slots = list(range(1, 1 + len(self.formals)))
+        return Plan(runner, self.next_slot, formal_slots, self.ret_slot)
+
+    def slot_of(self, name: str) -> int:
+        slot = self.slots.get(name)
+        if slot is None:
+            slot = self.slots[name] = self.next_slot
+            self.next_slot += 1
+        return slot
+
+    # -- statements ------------------------------------------------------
+
+    def compile_block(self, block):
+        stmts = block.stmts if isinstance(block, n.BlockStmts) else block
+        steps = [self.compile_stmt(s) for s in stmts]
+        if not steps:
+            def run_empty(interp, frame):
+                return None
+            return run_empty
+        if len(steps) == 1:
+            return steps[0]
+
+        def run(interp, frame):
+            for step in steps:
+                signal = step(interp, frame)
+                if signal is not None:
+                    return signal
+            return None
+        return run
+
+    def compile_stmt(self, stmt):
+        handler = _STMT_HANDLERS.get(stmt.node_kind)
+        if handler is None:
+            raise ClosureCompileError(f"statement {stmt.node_kind}")
+        return handler(self, stmt)
+
+    def _stmt_lazy_node(self, stmt: n.LazyNode):
+        # The walker counts a lazy statement twice per execution (the
+        # wrapper and the forced statement); mirror that.
+        if not stmt.is_forced():
+            raise ClosureCompileError("unforced lazy statement")
+        obs_lazy.thunk_forcing(stmt)
+        inner = self.compile_stmt(stmt.force())
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            return inner(interp, frame)
+        return run
+
+    def _stmt_empty(self, stmt):
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            return None
+        return run
+
+    def _stmt_block(self, stmt: n.Block):
+        inner = self.compile_block(stmt.body)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            return inner(interp, frame)
+        return run
+
+    def _stmt_use(self, stmt: n.UseStmt):
+        inner = self.compile_block(stmt.body)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            return inner(interp, frame)
+        return run
+
+    def _stmt_expr(self, stmt: n.ExprStmt):
+        ev = self.compile_expr(stmt.expr)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            ev(interp, frame)
+            return None
+        return run
+
+    def _stmt_local_var(self, stmt: n.LocalVarDecl):
+        scope = stmt.scope
+        declared = resolve_type_name(stmt.type_name, scope) \
+            if scope is not None else None
+        inits = []
+        for ident, dims, init in stmt.bindings():
+            var_type = array_of(declared, dims) if declared and dims \
+                else declared
+            slot = self.slot_of(ident.name)
+            if init is None:
+                value = default_value(var_type) if var_type else None
+                inits.append((slot, None, value))
+            elif isinstance(init, n.ArrayInitializer):
+                if not isinstance(var_type, ArrayType):
+                    raise ClosureCompileError("array init on non-array")
+                inits.append((slot, self.compile_array_init(init, var_type),
+                              None))
+            else:
+                inits.append((slot, self.compile_expr(init), None))
+
+        if len(inits) == 1:
+            slot, fn, const = inits[0]
+            if fn is None:
+                def run(interp, frame):
+                    _C_STATEMENTS.value += 1
+                    if interp.max_steps is not None and \
+                            interp.counters.statements > interp.max_steps:
+                        interp._raise_step_limit()
+                    frame[slot] = const
+                    return None
+            else:
+                def run(interp, frame):
+                    _C_STATEMENTS.value += 1
+                    if interp.max_steps is not None and \
+                            interp.counters.statements > interp.max_steps:
+                        interp._raise_step_limit()
+                    frame[slot] = fn(interp, frame)
+                    return None
+            return run
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            for slot, fn, const in inits:
+                frame[slot] = const if fn is None else fn(interp, frame)
+            return None
+        return run
+
+    def _stmt_if(self, stmt: n.IfStmt):
+        cond = self.compile_expr(stmt.cond)
+        then_run = self.compile_stmt(stmt.then_stmt)
+        else_run = self.compile_stmt(stmt.else_stmt) \
+            if stmt.else_stmt is not None else None
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            if cond(interp, frame):
+                return then_run(interp, frame)
+            if else_run is not None:
+                return else_run(interp, frame)
+            return None
+        return run
+
+    def _stmt_while(self, stmt: n.WhileStmt):
+        cond = self.compile_expr(stmt.cond)
+        body = self.compile_stmt(stmt.body)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            while cond(interp, frame):
+                signal = body(interp, frame)
+                if signal is not None:
+                    if signal is _BREAK:
+                        break
+                    if signal is _CONTINUE:
+                        continue
+                    return signal
+            return None
+        return run
+
+    def _stmt_do(self, stmt: n.DoStmt):
+        body = self.compile_stmt(stmt.body)
+        cond = self.compile_expr(stmt.cond)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            while True:
+                signal = body(interp, frame)
+                if signal is not None:
+                    if signal is _BREAK:
+                        break
+                    if signal is not _CONTINUE:
+                        return signal
+                if not cond(interp, frame):
+                    break
+            return None
+        return run
+
+    def _stmt_for(self, stmt: n.ForStmt):
+        init_stmt = None
+        init_exprs = []
+        if isinstance(stmt.init, n.LocalVarDecl):
+            init_stmt = self.compile_stmt(stmt.init)
+        elif isinstance(stmt.init, list):
+            init_exprs = [self.compile_expr(e) for e in stmt.init]
+        elif stmt.init is not None:
+            raise ClosureCompileError("for-init shape")
+        cond = self.compile_expr(stmt.cond) if stmt.cond is not None else None
+        updates = [self.compile_expr(u) for u in stmt.update]
+        body = self.compile_stmt(stmt.body)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            if init_stmt is not None:
+                init_stmt(interp, frame)
+            else:
+                for init in init_exprs:
+                    init(interp, frame)
+            while cond is None or cond(interp, frame):
+                signal = body(interp, frame)
+                if signal is not None:
+                    if signal is _BREAK:
+                        return None  # walker: break skips the updates
+                    if signal is not _CONTINUE:
+                        return signal
+                for update in updates:
+                    update(interp, frame)
+            return None
+        return run
+
+    def _stmt_return(self, stmt: n.ReturnStmt):
+        ret_slot = self.ret_slot
+        if stmt.expr is None:
+            def run(interp, frame):
+                _C_STATEMENTS.value += 1
+                if interp.max_steps is not None and \
+                        interp.counters.statements > interp.max_steps:
+                    interp._raise_step_limit()
+                frame[ret_slot] = None
+                return _RETURN
+            return run
+        ev = self.compile_expr(stmt.expr)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            frame[ret_slot] = ev(interp, frame)
+            return _RETURN
+        return run
+
+    def _stmt_throw(self, stmt: n.ThrowStmt):
+        ev = self.compile_expr(stmt.expr)
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            raise JavaThrow(ev(interp, frame))
+        return run
+
+    def _stmt_break(self, stmt):
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            return _BREAK
+        return run
+
+    def _stmt_continue(self, stmt):
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            return _CONTINUE
+        return run
+
+    def _stmt_try(self, stmt: n.TryStmt):
+        body = self.compile_block(stmt.body)
+        clauses = []
+        for clause in stmt.catches:
+            caught = getattr(clause, "caught_type", None)
+            if caught is None:
+                formal_scope = clause.formal.scope
+                if formal_scope is None:
+                    raise ClosureCompileError("unchecked catch clause")
+                caught = resolve_type_name(clause.formal.type_name,
+                                           formal_scope)
+            slot = self.slot_of(clause.formal.name.name)
+            clauses.append((caught, slot, self.compile_block(clause.body)))
+        fin = self.compile_block(stmt.finally_body) \
+            if stmt.finally_body is not None else None
+
+        def run(interp, frame):
+            _C_STATEMENTS.value += 1
+            if interp.max_steps is not None and \
+                    interp.counters.statements > interp.max_steps:
+                interp._raise_step_limit()
+            signal = None
+            try:
+                try:
+                    signal = body(interp, frame)
+                except JavaThrow as thrown:
+                    value = thrown.value
+                    for caught, slot, catch_body in clauses:
+                        if value.class_type.is_subtype_of(caught):
+                            frame[slot] = value
+                            signal = catch_body(interp, frame)
+                            break
+                    else:
+                        raise
+            finally:
+                if fin is not None:
+                    fin_signal = fin(interp, frame)
+                    if fin_signal is not None:
+                        # Mirrors the walker: a return/break/continue
+                        # inside finally swallows any in-flight
+                        # exception and overrides the pending signal.
+                        return fin_signal
+            return signal
+        return run
+
+    # -- array initializers ---------------------------------------------
+
+    def compile_array_init(self, init: n.ArrayInitializer,
+                           array_type: ArrayType):
+        element = array_type.element
+        parts = []
+        for item in init.elements:
+            if isinstance(item, n.ArrayInitializer):
+                if not isinstance(element, ArrayType):
+                    raise ClosureCompileError("nested array init shape")
+                parts.append(self.compile_array_init(item, element))
+            else:
+                parts.append(self.compile_expr(item))
+
+        def build(interp, frame):
+            _C_ALLOCATIONS.value += 1
+            return JavaArray(element, [p(interp, frame) for p in parts])
+        return build
+
+    # -- expressions -----------------------------------------------------
+
+    def compile_expr(self, expr):
+        handler = _EXPR_HANDLERS.get(expr.node_kind)
+        if handler is None:
+            raise ClosureCompileError(f"expression {expr.node_kind}")
+        return handler(self, expr)
+
+    def _expr_literal(self, expr: n.Literal):
+        value = expr.value
+
+        def ev(interp, frame):
+            return value
+        return ev
+
+    def _local_read(self, name: str, unbound_what: str = "local"):
+        slot = self.slot_of(name)
+        message = f"unbound {unbound_what} {name}"
+
+        def ev(interp, frame):
+            value = frame[slot]
+            if value is _UNBOUND:
+                raise MayaError(message)
+            return value
+        return ev
+
+    def _wrap_field_read(self, base, field):
+        if field is None:  # the checker's array-length sentinel
+            def ev(interp, frame):
+                return len(base(interp, frame))
+            return ev
+        if field.is_static:
+            def ev(interp, frame):
+                return interp._read_field(base(interp, frame), field)
+            return ev
+        fname = field.name
+        ftype = field.type
+
+        def ev(interp, frame):
+            obj = base(interp, frame)
+            _C_FIELD_READS.value += 1
+            if obj is None:
+                raise interp.throw("java.lang.NullPointerException", fname)
+            fields = obj.fields
+            value = fields.get(fname, _MISSING)
+            if value is _MISSING:
+                value = fields[fname] = default_value(ftype)
+            return value
+        return ev
+
+    def _resolve(self, expr):
+        try:
+            return resolve_name(expr, expr.scope)
+        except Exception as error:
+            raise ClosureCompileError(str(error)) from None
+
+    def _expr_name(self, expr: n.NameExpr):
+        kind, payload, fields = self._resolve(expr)
+        if kind == "local":
+            base = self._local_read(payload.name)
+        elif kind == "this_field":
+            first = fields[0]
+
+            def this_base(interp, frame):
+                return frame[0]
+            base = self._wrap_field_read(this_base, first)
+            fields = fields[1:]
+        elif kind == "static":
+            first = fields[0]
+
+            def base(interp, frame):
+                return interp._read_static(payload, first)
+            fields = fields[1:]
+        else:
+            raise ClosureCompileError(f"{expr} is a class, not a value")
+        for field in fields:
+            base = self._wrap_field_read(base, field)
+        return base
+
+    def _expr_reference(self, expr: n.Reference):
+        binding = expr.binding
+        name = getattr(binding, "name", binding)
+        if isinstance(name, n.Ident):
+            name = name.name
+        if not isinstance(name, str):
+            raise ClosureCompileError("reference binding shape")
+        return self._local_read(name, "reference")
+
+    def _expr_this(self, expr):
+        def ev(interp, frame):
+            return frame[0]
+        return ev
+
+    def _expr_paren(self, expr: n.ParenExpr):
+        return self.compile_expr(expr.inner)
+
+    def _expr_field_access(self, expr: n.FieldAccess):
+        name = expr.name
+        if isinstance(expr.receiver, n.SuperExpr):
+            def recv(interp, frame):
+                return frame[0]
+        else:
+            recv = self.compile_expr(expr.receiver)
+        field = getattr(expr, "field", _MISSING)
+        if field is _MISSING:
+            # Unchecked access: the walker resolves the field on the
+            # receiver's runtime class per execution — inline-cache it.
+            cache: Dict[object, object] = {}
+
+            def ev(interp, frame):
+                receiver = recv(interp, frame)
+                if isinstance(receiver, JavaArray) and name == "length":
+                    return len(receiver)
+                klass = receiver.class_type if type(receiver) is JavaObject \
+                    else interp._class_of_value(receiver)
+                found = cache.get(klass, _MISSING)
+                if found is _MISSING:
+                    if len(cache) >= MEGAMORPHIC:
+                        _IC_FIELD_MEGA.value += 1
+                        found = klass.find_field(name)
+                    else:
+                        _IC_FIELD_MISS.value += 1
+                        found = cache[klass] = klass.find_field(name)
+                else:
+                    _IC_FIELD_HIT.value += 1
+                return interp._read_field(receiver, found)
+            return ev
+        if field is None:  # array length, statically known
+            def ev(interp, frame):
+                receiver = recv(interp, frame)
+                if isinstance(receiver, JavaArray):
+                    return len(receiver)
+                klass = interp._class_of_value(receiver)
+                return interp._read_field(receiver, klass.find_field(name))
+            return ev
+        if name == "length" or field.is_static:
+            # Keep the walker's array-length probe / static handling.
+            def ev(interp, frame):
+                receiver = recv(interp, frame)
+                if isinstance(receiver, JavaArray) and name == "length":
+                    return len(receiver)
+                return interp._read_field(receiver, field)
+            return ev
+        return self._wrap_field_read(recv, field)
+
+    def _expr_array_access(self, expr: n.ArrayAccess):
+        arr = self.compile_expr(expr.array)
+        idx = self.compile_expr(expr.index)
+
+        def ev(interp, frame):
+            array = arr(interp, frame)
+            index = idx(interp, frame)
+            _C_ARRAY_READS.value += 1
+            if array is None:
+                raise interp.throw("java.lang.NullPointerException", None)
+            values = array.values
+            if index < 0 or index >= len(values):
+                raise interp.throw("java.lang.IndexOutOfBoundsException",
+                                   str(index))
+            return values[index]
+        return ev
+
+    # -- invocations -----------------------------------------------------
+
+    def _target_of(self, expr):
+        if not hasattr(expr, "target"):
+            try:
+                static_type_of(expr)
+            except Exception as error:
+                raise ClosureCompileError(str(error)) from None
+        return expr.target
+
+    def _expr_invocation(self, expr: n.MethodInvocation):
+        kind, payload, method = self._target_of(expr)
+        arg_fns = [self.compile_expr(a) for a in expr.args]
+
+        if kind == "instance":
+            recv = self.compile_expr(payload)
+            return self._virtual_call(method, recv, arg_fns,
+                                      null_check=True)
+        if kind == "this":
+            def recv(interp, frame):
+                return frame[0]
+            return self._virtual_call(method, recv, arg_fns,
+                                      null_check=False)
+        if kind == "static":
+            def ev(interp, frame):
+                args = [fn(interp, frame) for fn in arg_fns]
+                _C_METHOD_CALLS.value += 1
+                return interp.invoke_exact(method, None, args)
+            return ev
+        if kind == "super":
+            def ev(interp, frame):
+                args = [fn(interp, frame) for fn in arg_fns]
+                _C_METHOD_CALLS.value += 1
+                return interp.invoke_exact(method, frame[0], args)
+            return ev
+        # ctor_call (<this>/<super>) only occurs in constructor bodies,
+        # which always run on the walker.
+        raise ClosureCompileError(f"invocation target {kind}")
+
+    def _virtual_call(self, method, recv, arg_fns, null_check: bool):
+        """A virtual call site with a per-receiver-class inline cache.
+
+        The cache maps runtime ClassType -> resolved Method (what the
+        walker's per-call ``_virtual_lookup`` walk computes); dispatch
+        then goes through ``invoke_exact`` so depth guards, attached
+        impls, builtin lookup, and compiled plans all behave exactly as
+        on the walk backend.
+        """
+        mname = method.name
+        cache: Dict[object, object] = {}
+        if method.is_static:
+            # An instance-qualified static call: no virtual dispatch.
+            def ev(interp, frame):
+                args = [fn(interp, frame) for fn in arg_fns]
+                receiver = recv(interp, frame)
+                if null_check and receiver is None:
+                    raise interp.throw("java.lang.NullPointerException",
+                                       mname)
+                _C_METHOD_CALLS.value += 1
+                return interp.invoke_exact(method, receiver, args)
+            return ev
+
+        def ev(interp, frame):
+            args = [fn(interp, frame) for fn in arg_fns]
+            receiver = recv(interp, frame)
+            if receiver is None:
+                if null_check:
+                    raise interp.throw("java.lang.NullPointerException",
+                                       mname)
+                _C_METHOD_CALLS.value += 1
+                return interp.invoke_exact(method, receiver, args)
+            _C_METHOD_CALLS.value += 1
+            klass = receiver.class_type if type(receiver) is JavaObject \
+                else interp._class_of_value(receiver)
+            resolved = cache.get(klass)
+            if resolved is None:
+                if len(cache) >= MEGAMORPHIC:
+                    _IC_CALL_MEGA.value += 1
+                    resolved = interp._virtual_lookup(klass, method)
+                else:
+                    _IC_CALL_MISS.value += 1
+                    resolved = cache[klass] = \
+                        interp._virtual_lookup(klass, method)
+            else:
+                _IC_CALL_HIT.value += 1
+            return interp.invoke_exact(resolved, receiver, args)
+        return ev
+
+    def _expr_new_object(self, expr: n.NewObject):
+        target = self._target_of(expr)
+        _, klass, ctor = target
+        arg_fns = [self.compile_expr(a) for a in expr.args]
+
+        def ev(interp, frame):
+            args = [fn(interp, frame) for fn in arg_fns]
+            return interp.construct(klass, ctor, args)
+        return ev
+
+    def _expr_new_array(self, expr: n.NewArray):
+        if expr.scope is None:
+            raise ClosureCompileError("unscoped new array")
+        element = resolve_type_name(expr.element_type, expr.scope)
+        if expr.initializer is not None:
+            total_dims = max(len(expr.dim_exprs) + expr.extra_dims, 1)
+            return self.compile_array_init(expr.initializer,
+                                           array_of(element, total_dims))
+        dim_fns = [self.compile_expr(d) for d in expr.dim_exprs]
+        extra = expr.extra_dims
+
+        def ev(interp, frame):
+            dims = [fn(interp, frame) for fn in dim_fns]
+            return interp._allocate(element, dims, extra)
+        return ev
+
+    # -- operators -------------------------------------------------------
+
+    def _expr_unary(self, expr: n.UnaryExpr):
+        op = expr.op
+        if op in ("++", "--"):
+            return self._compile_incr(expr.operand, op, prefix=True)
+        operand = self.compile_expr(expr.operand)
+        stype = getattr(expr.operand, "_static_type", None)
+        numeric = _is_numeric_type(stype)
+        if op == "!":
+            def ev(interp, frame):
+                return not operand(interp, frame)
+            return ev
+        if op == "-":
+            if numeric:
+                def ev(interp, frame):
+                    return -operand(interp, frame)
+            else:
+                def ev(interp, frame):
+                    return -_num(operand(interp, frame))
+            return ev
+        if op == "+":
+            if numeric:
+                return operand
+            def ev(interp, frame):
+                return _num(operand(interp, frame))
+            return ev
+        if op == "~":
+            if numeric:
+                def ev(interp, frame):
+                    return ~operand(interp, frame)
+            else:
+                def ev(interp, frame):
+                    return ~_num(operand(interp, frame))
+            return ev
+        raise ClosureCompileError(f"unary {op}")
+
+    def _expr_postfix(self, expr: n.PostfixExpr):
+        return self._compile_incr(expr.operand, expr.op, prefix=False)
+
+    def _compile_incr(self, lvalue, op, prefix: bool):
+        read = self.compile_expr(lvalue)
+        store = self.compile_store(lvalue)
+        delta = 1 if op == "++" else -1
+        stype = getattr(lvalue, "_static_type", None)
+        direct = _is_numeric_type(stype)
+
+        def ev(interp, frame):
+            old = read(interp, frame)
+            if not direct:
+                old = _num(old)
+            new = old + delta
+            store(interp, frame, new)
+            return new if prefix else old
+        return ev
+
+    def _expr_binary(self, expr: n.BinaryExpr):
+        op = expr.op
+        left = self.compile_expr(expr.left)
+        right = self.compile_expr(expr.right)
+        lt = getattr(expr.left, "_static_type", None)
+        rt = getattr(expr.right, "_static_type", None)
+        both_int = _is_int_type(lt) and _is_int_type(rt)
+        both_numeric = _is_numeric_type(lt) and _is_numeric_type(rt)
+        both_boolean = lt is BOOLEAN and rt is BOOLEAN
+
+        # Literal folding: int-literal operands with direct semantics.
+        if isinstance(expr.left, n.Literal) and \
+                isinstance(expr.right, n.Literal) and \
+                expr.left.kind in ("int", "long") and \
+                expr.right.kind in ("int", "long"):
+            folded = _FOLDABLE.get(op)
+            if folded is not None:
+                constant = folded(expr.left.value, expr.right.value)
+
+                def ev(interp, frame):
+                    return constant
+                return ev
+
+        if op == "&&":
+            if both_boolean:
+                def ev(interp, frame):
+                    return left(interp, frame) and right(interp, frame)
+            else:
+                def ev(interp, frame):
+                    return bool(left(interp, frame)) and \
+                        bool(right(interp, frame))
+            return ev
+        if op == "||":
+            if both_boolean:
+                def ev(interp, frame):
+                    return left(interp, frame) or right(interp, frame)
+            else:
+                def ev(interp, frame):
+                    return bool(left(interp, frame)) or \
+                        bool(right(interp, frame))
+            return ev
+
+        if op == "+":
+            stype = getattr(expr, "_static_type", None)
+            if _is_string_type(stype):
+                def ev(interp, frame):
+                    return java_str(left(interp, frame)) + \
+                        java_str(right(interp, frame))
+                return ev
+            if stype is not None:
+                if both_numeric:
+                    def ev(interp, frame):
+                        return left(interp, frame) + right(interp, frame)
+                else:
+                    def ev(interp, frame):
+                        return _num(left(interp, frame)) + \
+                            _num(right(interp, frame))
+                return ev
+
+            def ev(interp, frame):
+                return _binary_op(interp, "+", left(interp, frame),
+                                  right(interp, frame))
+            return ev
+
+        if op in ("==", "!="):
+            if both_numeric:
+                if op == "==":
+                    def ev(interp, frame):
+                        return left(interp, frame) == right(interp, frame)
+                else:
+                    def ev(interp, frame):
+                        return left(interp, frame) != right(interp, frame)
+                return ev
+            want = (op == "==")
+
+            def ev(interp, frame):
+                return _java_equal(left(interp, frame),
+                                   right(interp, frame)) is want
+            return ev
+
+        if both_numeric and op in ("<", ">", "<=", ">=", "-", "*"):
+            direct = _DIRECT_OPS[op]
+
+            def ev(interp, frame):
+                return direct(left(interp, frame), right(interp, frame))
+            return ev
+
+        if both_int and op == "/":
+            def ev(interp, frame):
+                a = left(interp, frame)
+                b = right(interp, frame)
+                if b == 0:
+                    raise interp.throw("java.lang.ArithmeticException",
+                                       "/ by zero")
+                quotient = abs(a) // abs(b)
+                return quotient if (a >= 0) == (b >= 0) else -quotient
+            return ev
+        if both_int and op == "%":
+            def ev(interp, frame):
+                a = left(interp, frame)
+                b = right(interp, frame)
+                if b == 0:
+                    raise interp.throw("java.lang.ArithmeticException",
+                                       "% by zero")
+                quotient = abs(a) // abs(b)
+                if (a >= 0) != (b >= 0):
+                    quotient = -quotient
+                return a - quotient * b
+            return ev
+
+        if both_boolean and op in ("&", "|", "^"):
+            if op == "&":
+                def ev(interp, frame):
+                    return left(interp, frame) and right(interp, frame)
+            elif op == "|":
+                def ev(interp, frame):
+                    return left(interp, frame) or right(interp, frame)
+            else:
+                def ev(interp, frame):
+                    return left(interp, frame) != right(interp, frame)
+            return ev
+
+        def ev(interp, frame):
+            return _binary_op(interp, op, left(interp, frame),
+                              right(interp, frame))
+        return ev
+
+    def _expr_instanceof(self, expr: n.InstanceofExpr):
+        if expr.scope is None:
+            raise ClosureCompileError("unscoped instanceof")
+        target = resolve_type_name(expr.type_name, expr.scope)
+        value_fn = self.compile_expr(expr.expr)
+        cache: Dict[object, bool] = {}
+
+        def ev(interp, frame):
+            value = value_fn(interp, frame)
+            if value is None:
+                return False
+            runtime = interp._runtime_type(value)
+            verdict = cache.get(runtime, _MISSING)
+            if verdict is _MISSING:
+                _IC_TYPE_MISS.value += 1
+                verdict = cache[runtime] = runtime.is_subtype_of(target)
+            else:
+                _IC_TYPE_HIT.value += 1
+            return verdict
+        return ev
+
+    def _expr_cast(self, expr: n.CastExpr):
+        if expr.scope is None:
+            raise ClosureCompileError("unscoped cast")
+        target = resolve_type_name(expr.type_name, expr.scope)
+        value_fn = self.compile_expr(expr.expr)
+        if isinstance(target, PrimitiveType):
+            def ev(interp, frame):
+                return _primitive_cast(value_fn(interp, frame), target)
+            return ev
+        cache: Dict[object, bool] = {}
+
+        def ev(interp, frame):
+            value = value_fn(interp, frame)
+            if value is None:
+                return None
+            runtime = interp._runtime_type(value)
+            verdict = cache.get(runtime, _MISSING)
+            if verdict is _MISSING:
+                _IC_TYPE_MISS.value += 1
+                verdict = cache[runtime] = runtime.is_subtype_of(target)
+            else:
+                _IC_TYPE_HIT.value += 1
+            if not verdict:
+                raise interp.throw("java.lang.ClassCastException",
+                                   f"{interp._runtime_type(value)} to "
+                                   f"{target}")
+            return value
+        return ev
+
+    def _expr_assignment(self, expr: n.Assignment):
+        store = self.compile_store(expr.lhs)
+        value_fn = self.compile_expr(expr.value)
+        if expr.op == "=":
+            def ev(interp, frame):
+                value = value_fn(interp, frame)
+                store(interp, frame, value)
+                return value
+            return ev
+        op = expr.op[:-1]
+        read = self.compile_expr(expr.lhs)
+
+        def ev(interp, frame):
+            # Compound assignment mirrors the walker exactly: the lhs
+            # is read once and re-evaluated by the store, and the
+            # combine always goes through the generic operator.
+            current = read(interp, frame)
+            value = _binary_op(interp, op, current, value_fn(interp, frame))
+            store(interp, frame, value)
+            return value
+        return ev
+
+    def _expr_conditional(self, expr: n.ConditionalExpr):
+        cond = self.compile_expr(expr.cond)
+        then_fn = self.compile_expr(expr.then_expr)
+        else_fn = self.compile_expr(expr.else_expr)
+
+        def ev(interp, frame):
+            if cond(interp, frame):
+                return then_fn(interp, frame)
+            return else_fn(interp, frame)
+        return ev
+
+    # -- lvalue stores ---------------------------------------------------
+
+    def compile_store(self, lhs):
+        """Compile an lvalue into ``store(interp, frame, value)``."""
+        if isinstance(lhs, n.ParenExpr):
+            return self.compile_store(lhs.inner)
+        if isinstance(lhs, n.NameExpr):
+            return self._store_name(lhs)
+        if isinstance(lhs, n.FieldAccess):
+            return self._store_field_access(lhs)
+        if isinstance(lhs, n.ArrayAccess):
+            return self._store_array_access(lhs)
+        if isinstance(lhs, n.Reference):
+            binding = lhs.binding
+            name = getattr(binding, "name", binding)
+            if isinstance(name, n.Ident):
+                name = name.name
+            if not isinstance(name, str):
+                raise ClosureCompileError("reference binding shape")
+            slot = self.slot_of(name)
+
+            def store(interp, frame, value):
+                frame[slot] = value
+            return store
+        raise ClosureCompileError(
+            f"assignment target {type(lhs).__name__}")
+
+    def _store_name(self, lhs: n.NameExpr):
+        kind, payload, fields = self._resolve(lhs)
+        if kind == "local" and not fields:
+            slot = self.slot_of(payload.name)
+
+            def store(interp, frame, value):
+                frame[slot] = value
+            return store
+        if kind == "local":
+            slot = self.slot_of(payload.name)
+            name = payload.name
+            mids, last = fields[:-1], fields[-1]
+
+            def store(interp, frame, value):
+                target = frame[slot]
+                if target is _UNBOUND:
+                    raise KeyError(name)  # walker: frame[name] KeyError
+                for field in mids:
+                    target = interp._read_field(target, field)
+                interp._write_field(target, last, value)
+            return store
+        if kind == "this_field":
+            mids, last = fields[:-1], fields[-1]
+
+            def store(interp, frame, value):
+                target = frame[0]
+                for field in mids:
+                    target = interp._read_field(target, field)
+                interp._write_field(target, last, value)
+            return store
+        if kind == "static":
+            if len(fields) == 1:
+                field = fields[0]
+                key = (field.declaring_class.name, field.name)
+
+                def store(interp, frame, value):
+                    _C_FIELD_WRITES.value += 1
+                    interp.statics[key] = value
+                return store
+            first = fields[0]
+            mids, last = fields[1:-1], fields[-1]
+
+            def store(interp, frame, value):
+                target = interp._read_static(payload, first)
+                for field in mids:
+                    target = interp._read_field(target, field)
+                interp._write_field(target, last, value)
+            return store
+        raise ClosureCompileError(f"cannot assign to {lhs}")
+
+    def _store_field_access(self, lhs: n.FieldAccess):
+        recv = self.compile_expr(lhs.receiver)
+        field = getattr(lhs, "field", None)
+        if field is not None:
+            def store(interp, frame, value):
+                interp._write_field(recv(interp, frame), field, value)
+            return store
+        name = lhs.name
+        cache: Dict[object, object] = {}
+
+        def store(interp, frame, value):
+            receiver = recv(interp, frame)
+            klass = receiver.class_type if type(receiver) is JavaObject \
+                else interp._class_of_value(receiver)
+            found = cache.get(klass, _MISSING)
+            if found is _MISSING:
+                if len(cache) >= MEGAMORPHIC:
+                    _IC_FIELD_MEGA.value += 1
+                    found = klass.find_field(name)
+                else:
+                    _IC_FIELD_MISS.value += 1
+                    found = cache[klass] = klass.find_field(name)
+            else:
+                _IC_FIELD_HIT.value += 1
+            interp._write_field(receiver, found, value)
+        return store
+
+    def _store_array_access(self, lhs: n.ArrayAccess):
+        arr = self.compile_expr(lhs.array)
+        idx = self.compile_expr(lhs.index)
+
+        def store(interp, frame, value):
+            array = arr(interp, frame)
+            index = idx(interp, frame)
+            _C_ARRAY_WRITES.value += 1
+            if array is None:
+                raise interp.throw("java.lang.NullPointerException", None)
+            values = array.values
+            if index < 0 or index >= len(values):
+                raise interp.throw("java.lang.IndexOutOfBoundsException",
+                                   str(index))
+            values[index] = value
+        return store
+
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_DIRECT_OPS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+_STMT_HANDLERS = {
+    "lazy_node": _MethodCompiler._stmt_lazy_node,
+    "empty_stmt": _MethodCompiler._stmt_empty,
+    "block": _MethodCompiler._stmt_block,
+    "use_stmt": _MethodCompiler._stmt_use,
+    "expr_stmt": _MethodCompiler._stmt_expr,
+    "local_var_decl": _MethodCompiler._stmt_local_var,
+    "if_stmt": _MethodCompiler._stmt_if,
+    "while_stmt": _MethodCompiler._stmt_while,
+    "do_stmt": _MethodCompiler._stmt_do,
+    "for_stmt": _MethodCompiler._stmt_for,
+    "return_stmt": _MethodCompiler._stmt_return,
+    "throw_stmt": _MethodCompiler._stmt_throw,
+    "break_stmt": _MethodCompiler._stmt_break,
+    "continue_stmt": _MethodCompiler._stmt_continue,
+    "try_stmt": _MethodCompiler._stmt_try,
+}
+
+_EXPR_HANDLERS = {
+    "literal": _MethodCompiler._expr_literal,
+    "name_expr": _MethodCompiler._expr_name,
+    "reference": _MethodCompiler._expr_reference,
+    "this_expr": _MethodCompiler._expr_this,
+    "paren_expr": _MethodCompiler._expr_paren,
+    "field_access": _MethodCompiler._expr_field_access,
+    "array_access": _MethodCompiler._expr_array_access,
+    "method_invocation": _MethodCompiler._expr_invocation,
+    "new_object": _MethodCompiler._expr_new_object,
+    "new_array": _MethodCompiler._expr_new_array,
+    "unary_expr": _MethodCompiler._expr_unary,
+    "postfix_expr": _MethodCompiler._expr_postfix,
+    "binary_expr": _MethodCompiler._expr_binary,
+    "instanceof_expr": _MethodCompiler._expr_instanceof,
+    "cast_expr": _MethodCompiler._expr_cast,
+    "assignment": _MethodCompiler._expr_assignment,
+    "conditional_expr": _MethodCompiler._expr_conditional,
+}

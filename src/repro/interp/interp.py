@@ -1,7 +1,8 @@
-"""The tree-walking interpreter."""
+"""The tree-walking interpreter (and the seam to the closure backend)."""
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import Dict, List, Optional, Tuple
 
@@ -9,6 +10,7 @@ from repro.ast import nodes as n
 from repro.core import CompiledProgram, MayaError
 from repro.diag import DiagnosticError
 from repro.obs import lazy as obs_lazy
+from repro.obs.metrics import REGISTRY
 from repro.interp.builtins import StreamPeer, build_table
 from repro.interp.values import (
     JavaArray,
@@ -27,28 +29,97 @@ from repro.types import (
     array_of,
 )
 
+#: Operation counts, by kind — bumped by both execution backends at the
+#: same observable points, exported via --metrics-out like every other
+#: registry family.  Children are bound once here so the hot paths pay
+#: a single integer add.
+_OPS = REGISTRY.counter(
+    "maya_interp_ops_total",
+    "Interpreter operations executed, by kind.",
+    ("op",))
+_C_ALLOCATIONS = _OPS.labels("allocations")
+_C_METHOD_CALLS = _OPS.labels("method_calls")
+_C_FIELD_READS = _OPS.labels("field_reads")
+_C_FIELD_WRITES = _OPS.labels("field_writes")
+_C_ARRAY_READS = _OPS.labels("array_reads")
+_C_ARRAY_WRITES = _OPS.labels("array_writes")
+_C_STATEMENTS = _OPS.labels("statements")
+
+_OP_CHILDREN = {
+    "allocations": _C_ALLOCATIONS,
+    "method_calls": _C_METHOD_CALLS,
+    "field_reads": _C_FIELD_READS,
+    "field_writes": _C_FIELD_WRITES,
+    "array_reads": _C_ARRAY_READS,
+    "array_writes": _C_ARRAY_WRITES,
+    "statements": _C_STATEMENTS,
+}
+
+#: Lazily imported closure backend (repro.interp.closures); deferred so
+#: walk-only embedders never pay the import and to break the module
+#: cycle (closures imports this module's helpers).
+_closures = None
+
 
 class Counters:
     """Operation counters (used by the benchmarks to measure what the
-    paper's optimized expansions save)."""
+    paper's optimized expansions save).
 
-    __slots__ = ("allocations", "method_calls", "field_reads", "field_writes",
-                 "array_reads", "array_writes", "statements")
+    Since the telemetry unification this is a per-interpreter *view*
+    over the process-wide ``maya_interp_ops_total{op}`` registry family
+    — the same port PR 4 did for ``perf.CacheStats``.  Both backends
+    bump the registry children directly; each view subtracts the
+    baseline captured at construction / ``reset()``, so the historical
+    per-interpreter semantics and ``snapshot()`` shape are unchanged
+    while ``--metrics-out`` exports the same numbers.
+    """
+
+    __slots__ = ("_base",)
+
+    _fields = ("allocations", "method_calls", "field_reads", "field_writes",
+               "array_reads", "array_writes", "statements")
 
     def __init__(self):
+        self._base: Dict[str, int] = {}
         self.reset()
 
     def reset(self):
-        self.allocations = 0
-        self.method_calls = 0
-        self.field_reads = 0
-        self.field_writes = 0
-        self.array_reads = 0
-        self.array_writes = 0
-        self.statements = 0
+        for name, child in _OP_CHILDREN.items():
+            self._base[name] = child.value
+
+    def _get(self, name: str) -> int:
+        return max(0, _OP_CHILDREN[name].value - self._base[name])
+
+    @property
+    def allocations(self) -> int:
+        return self._get("allocations")
+
+    @property
+    def method_calls(self) -> int:
+        return self._get("method_calls")
+
+    @property
+    def field_reads(self) -> int:
+        return self._get("field_reads")
+
+    @property
+    def field_writes(self) -> int:
+        return self._get("field_writes")
+
+    @property
+    def array_reads(self) -> int:
+        return self._get("array_reads")
+
+    @property
+    def array_writes(self) -> int:
+        return self._get("array_writes")
+
+    @property
+    def statements(self) -> int:
+        return self._get("statements")
 
     def snapshot(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: self._get(name) for name in self._fields}
 
 
 #: Default Java-level call-depth budget.  Each interpreted call burns a
@@ -90,11 +161,32 @@ class _Continue(Exception):
 
 
 class Interpreter:
-    """Executes a CompiledProgram."""
+    """Executes a CompiledProgram.
+
+    ``backend`` selects the execution strategy: ``"walk"`` (the seed
+    tree-walker, the default) or ``"closure"`` (slot frames + inline
+    caches; see ``repro.interp.closures``).  When None, the
+    ``MAYA_BACKEND`` environment variable decides, defaulting to walk.
+    """
 
     def __init__(self, program: CompiledProgram, echo: bool = False,
                  max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
-                 max_steps: Optional[int] = None):
+                 max_steps: Optional[int] = None,
+                 backend: Optional[str] = None):
+        if backend is None:
+            backend = os.environ.get("MAYA_BACKEND", "") or "walk"
+        if backend not in ("walk", "closure"):
+            raise MayaError(
+                f"unknown interpreter backend {backend!r} "
+                f"(expected 'walk' or 'closure')"
+            )
+        self.backend = backend
+        if backend == "closure":
+            global _closures
+            if _closures is None:
+                from repro.interp import closures
+
+                _closures = closures
         self.program = program
         self.registry = program.env.registry
         self.builtins = build_table()
@@ -188,12 +280,12 @@ class Interpreter:
     # -- allocation -------------------------------------------------------------
 
     def new_builtin(self, class_name: str, peer=None) -> JavaObject:
-        self.counters.allocations += 1
+        _C_ALLOCATIONS.value += 1
         obj = JavaObject(self.registry.require(class_name), peer)
         return obj
 
     def construct(self, klass: ClassType, ctor: Method, args) -> JavaObject:
-        self.counters.allocations += 1
+        _C_ALLOCATIONS.value += 1
         obj = JavaObject(klass)
         self._run_field_inits(obj, klass)
         self._run_ctor(obj, klass, ctor, args)
@@ -252,7 +344,7 @@ class Interpreter:
 
     def invoke(self, method: Method, receiver, args):
         """Invoke with virtual dispatch on the receiver's runtime class."""
-        self.counters.method_calls += 1
+        _C_METHOD_CALLS.value += 1
         if receiver is not None and not method.is_static:
             runtime_class = self._class_of_value(receiver)
             method = self._virtual_lookup(runtime_class, method)
@@ -276,6 +368,11 @@ class Interpreter:
             # A Python implementation attached directly to the Method
             # (intercession-added members).
             return method.impl(self, receiver, args)
+        if self.backend == "closure" and method.decl is not None \
+                and method.decl.body is not None:
+            plan = _closures.plan_for(method)
+            if plan is not _closures.WALK:
+                return _closures.run_plan(self, plan, receiver, args)
         impl = None
         if method.decl is None:
             # Built-in implementation: search the receiver's runtime
@@ -338,19 +435,22 @@ class Interpreter:
 
     # -- statements ----------------------------------------------------------------
 
+    def _raise_step_limit(self):
+        raise StepLimitExceeded(
+            f"step budget exhausted: executed more than "
+            f"{self.max_steps} statements"
+        )
+
     def exec_block(self, block, frame) -> None:
         stmts = block.stmts if isinstance(block, n.BlockStmts) else block
         for stmt in stmts:
             self.exec_stmt(stmt, frame)
 
     def exec_stmt(self, stmt, frame) -> None:
-        self.counters.statements += 1
+        _C_STATEMENTS.value += 1
         if self.max_steps is not None and \
                 self.counters.statements > self.max_steps:
-            raise StepLimitExceeded(
-                f"step budget exhausted: executed more than "
-                f"{self.max_steps} statements"
-            )
+            self._raise_step_limit()
         if isinstance(stmt, n.LazyNode):
             obs_lazy.thunk_forcing(stmt)
             self.exec_stmt(stmt.force(), frame)
@@ -457,7 +557,7 @@ class Interpreter:
         return self.eval(init, frame)
 
     def _build_array(self, init: n.ArrayInitializer, array_type: ArrayType, frame):
-        self.counters.allocations += 1
+        _C_ALLOCATIONS.value += 1
         element = array_type.element
         values = []
         for item in init.elements:
@@ -540,7 +640,7 @@ class Interpreter:
         return self._read_field(receiver, field)
 
     def _read_field(self, receiver, field):
-        self.counters.field_reads += 1
+        _C_FIELD_READS.value += 1
         if field.is_static:
             return self._read_static(field.declaring_class, field)
         if receiver is None:
@@ -565,7 +665,7 @@ class Interpreter:
         return self._array_read(array, index)
 
     def _array_read(self, array, index):
-        self.counters.array_reads += 1
+        _C_ARRAY_READS.value += 1
         if array is None:
             raise self.throw("java.lang.NullPointerException", None)
         if index < 0 or index >= len(array.values):
@@ -585,12 +685,12 @@ class Interpreter:
                 raise self.throw("java.lang.NullPointerException", method.name)
             return self.invoke(method, receiver, args)
         if kind == "static":
-            self.counters.method_calls += 1
+            _C_METHOD_CALLS.value += 1
             return self.invoke_exact(method, None, args)
         if kind == "this":
             return self.invoke(method, frame.get("this"), args)
         if kind == "super":
-            self.counters.method_calls += 1
+            _C_METHOD_CALLS.value += 1
             return self.invoke_exact(method, frame.get("this"), args)
         if kind == "ctor_call":
             obj = frame.get("this")
@@ -617,7 +717,7 @@ class Interpreter:
         return self._allocate(element, dims, expr.extra_dims)
 
     def _allocate(self, element: Type, dims: List[int], extra: int):
-        self.counters.allocations += 1
+        _C_ALLOCATIONS.value += 1
         inner = array_of(element, extra + len(dims) - 1) if (extra or len(dims) > 1) \
             else element
         if len(dims) == 1:
@@ -727,7 +827,7 @@ class Interpreter:
                 return
             if kind == "static":
                 if len(fields) == 1:
-                    self.counters.field_writes += 1
+                    _C_FIELD_WRITES.value += 1
                     key = (fields[0].declaring_class.name, fields[0].name)
                     self.statics[key] = value
                     return
@@ -747,7 +847,7 @@ class Interpreter:
         if isinstance(lhs, n.ArrayAccess):
             array = self.eval(lhs.array, frame)
             index = self.eval(lhs.index, frame)
-            self.counters.array_writes += 1
+            _C_ARRAY_WRITES.value += 1
             if array is None:
                 raise self.throw("java.lang.NullPointerException", None)
             if index < 0 or index >= len(array.values):
@@ -763,7 +863,7 @@ class Interpreter:
         raise MayaError(f"bad assignment target {type(lhs).__name__}")
 
     def _write_field(self, receiver, field, value) -> None:
-        self.counters.field_writes += 1
+        _C_FIELD_WRITES.value += 1
         if field.is_static:
             self.statics[(field.declaring_class.name, field.name)] = value
             return

@@ -6,6 +6,11 @@ Options:
     --use NAME        import a metaprogram compiler-wide (repeatable;
                       the paper's -use option)
     --run CLASS       interpret CLASS.main() after compiling
+    --backend walk|closure
+                      execution backend for --run: the seed tree-walker
+                      (default) or the closure compiler with slot
+                      frames and inline caches; also settable via the
+                      MAYA_BACKEND environment variable
     --expand          print the expanded (plain Java) source
     --no-macros       do not register the maya.util library
     --multijava       register the MultiJava extension
@@ -83,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="import a metaprogram compiler-wide")
     parser.add_argument("--run", metavar="CLASS",
                         help="run CLASS.main() after compiling")
+    parser.add_argument("--backend", choices=("walk", "closure"),
+                        default=None,
+                        help="execution backend for --run (default: "
+                             "MAYA_BACKEND or walk)")
     parser.add_argument("--expand", action="store_true",
                         help="print the expanded source")
     parser.add_argument("--no-macros", action="store_true",
@@ -255,7 +264,7 @@ def main(argv=None) -> int:
         print(program.source(provenance=args.provenance))
 
     if args.run and program is not None:
-        interp = Interpreter(program, echo=True)
+        interp = Interpreter(program, echo=True, backend=args.backend)
         try:
             with perf.phase("interp"), trace.span("interp", args.run):
                 interp.run_static(args.run)

@@ -179,10 +179,12 @@ class GenericFunction:
             most_specific = _most_specific(applicable)
             return self._call(most_specific, formal_names)
 
+        # Tie-break equal-depth specializers by name so the generated
+        # dispatcher source is deterministic (sets iterate in id order).
         specializers = sorted(
             {m.specializers[index] for m in applicable
              if m.specializers[index] is not None},
-            key=lambda klass: len(klass.ancestors()),
+            key=lambda klass: (len(klass.ancestors()), klass.name),
         )
         if not specializers:
             return self._dispatch_arg(ctx, formal_names, applicable, index + 1)

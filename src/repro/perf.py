@@ -276,7 +276,38 @@ class Profiler:
                     + (f"  ({stats.evictions} evicted)" if stats.evictions
                        else "")
                 )
+        ic_lines = self._render_inline_caches()
+        if ic_lines:
+            lines.extend(ic_lines)
         return "\n".join(lines)
+
+    @staticmethod
+    def _render_inline_caches() -> List[str]:
+        """The closure backend's inline-cache section (empty when the
+        closure backend never ran)."""
+        family = REGISTRY.get("maya_interp_ic_events_total")
+        if family is None:
+            return []
+        by_site: Dict[str, Dict[str, int]] = {}
+        for (site, event), child in family.samples():
+            if child.value:
+                by_site.setdefault(site, {})[event] = child.value
+        if not by_site:
+            return []
+        lines = ["inline caches (closure backend):"]
+        for site in sorted(by_site):
+            events = by_site[site]
+            hits = events.get("hit", 0)
+            misses = events.get("miss", 0)
+            mega = events.get("megamorphic", 0)
+            lookups = hits + misses + mega
+            rate = hits / lookups if lookups else 0.0
+            line = (f"  {site:<22} {hits:>8} hits {misses:>6} misses "
+                    f"{rate:6.1%}")
+            if mega:
+                line += f"  ({mega} megamorphic)"
+            lines.append(line)
+        return lines
 
 
 #: The currently active profiler, or None (the common case).

@@ -28,6 +28,7 @@ from repro.types.types import (
     VOID,
     array_of,
     binary_numeric_promotion,
+    bump_member_epoch,
     can_assign,
     can_cast,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "VOID",
     "array_of",
     "binary_numeric_promotion",
+    "bump_member_epoch",
     "can_assign",
     "can_cast",
     "install_builtins",

@@ -14,6 +14,22 @@ class TypeError_(DiagnosticError):
     phase = "check"
 
 
+#: Monotone member-table epoch: bumped whenever any class gains or
+#: loses a member (intercession's declare_method / remove_method /
+#: declare_field).  Execution-side caches keyed on resolved members —
+#: the closure backend's compiled method plans and inline caches —
+#: record the epoch they were built under and rebuild on mismatch,
+#: the same invalidation discipline the dispatcher's plan cache uses
+#: for its import epoch.
+MEMBER_EPOCH = 0
+
+
+def bump_member_epoch() -> int:
+    global MEMBER_EPOCH
+    MEMBER_EPOCH += 1
+    return MEMBER_EPOCH
+
+
 class Type:
     """Base class of all types."""
 
@@ -258,6 +274,7 @@ class ClassType(Type):
     def declare_field(self, name: str, type_: Type, modifiers: Sequence[str] = ()) -> Field:
         field = Field(name, type_, modifiers, self)
         self.fields[name] = field
+        bump_member_epoch()
         return field
 
     def declare_method(
@@ -271,6 +288,7 @@ class ClassType(Type):
     ) -> Method:
         method = Method(name, param_types, return_type, modifiers, self, impl, decl)
         bucket = self.methods.setdefault(name, [])
+        bump_member_epoch()
         for index, existing in enumerate(bucket):
             if existing.same_signature(method):
                 bucket[index] = method
@@ -282,6 +300,7 @@ class ClassType(Type):
         bucket = self.methods.get(method.name, [])
         if method in bucket:
             bucket.remove(method)
+            bump_member_epoch()
 
     def declare_constructor(
         self,

@@ -1,0 +1,835 @@
+"""Differential tests for the two execution backends.
+
+The closure backend (slot frames + inline caches) must be observably
+identical to the seed tree-walker: same stdout, same operation-counter
+snapshots (step equivalence), and the same thrown ``JavaThrow``
+classes.  Every shipped example runs under both backends, plus targeted
+programs covering the ``_virtual_lookup`` shadowing edges and inline
+cache transitions the compiled code must preserve.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import MayaError
+from repro.interp import Interpreter, JavaThrow, StepLimitExceeded
+from repro.interp import closures
+from repro.mayac import main as mayac_main
+from repro.obs.metrics import REGISTRY
+
+from tests.conftest import compile_source
+from tests.test_examples import EXAMPLES_DIR, HELLO, SCRIPTS, run_example
+
+
+def run_both(source, cls="Demo", macros=False, multijava=False, args=()):
+    """Run ``cls.main()`` under both backends; return per-backend
+    (return value, output lines, counter snapshot)."""
+    program = compile_source(source, macros, multijava)
+    results = {}
+    for backend in ("walk", "closure"):
+        interp = Interpreter(program, backend=backend)
+        value = interp.run_static(cls, args=args)
+        results[backend] = (value, interp.output,
+                            interp.counters.snapshot())
+    return results["walk"], results["closure"]
+
+
+def assert_equivalent(source, cls="Demo", macros=False, multijava=False):
+    walk, closure = run_both(source, cls, macros, multijava)
+    assert walk[0] == closure[0], "return values differ"
+    assert walk[1] == closure[1], "stdout differs"
+    assert walk[2] == closure[2], "operation counters differ"
+    return walk
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    SRC = "class Demo { static int main() { return 41 + 1; } }"
+
+    def test_default_is_walk(self, monkeypatch):
+        monkeypatch.delenv("MAYA_BACKEND", raising=False)
+        program = compile_source(self.SRC)
+        assert Interpreter(program).backend == "walk"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("MAYA_BACKEND", "closure")
+        program = compile_source(self.SRC)
+        interp = Interpreter(program)
+        assert interp.backend == "closure"
+        assert interp.run_static("Demo") == 42
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("MAYA_BACKEND", "closure")
+        program = compile_source(self.SRC)
+        assert Interpreter(program, backend="walk").backend == "walk"
+
+    def test_unknown_backend_rejected(self):
+        program = compile_source(self.SRC)
+        with pytest.raises(MayaError, match="unknown interpreter backend"):
+            Interpreter(program, backend="jit")
+
+    def test_mayac_backend_flag(self, tmp_path, capsys):
+        src = tmp_path / "demo.maya"
+        src.write_text("class Demo { static void main() "
+                       "{ System.out.println(\"hi \" + (6 * 7)); } }")
+        outputs = {}
+        for backend in ("walk", "closure"):
+            assert mayac_main([str(src), "--run", "Demo",
+                               "--backend", backend]) == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["walk"] == outputs["closure"]
+        assert "hi 42" in outputs["closure"]
+
+
+# ---------------------------------------------------------------------------
+# Differential: language constructs
+# ---------------------------------------------------------------------------
+
+
+class TestDifferentialPrograms:
+    def test_arithmetic_and_loops(self):
+        assert_equivalent("""
+            class Demo {
+                static int main() {
+                    int total = 0;
+                    for (int i = 0; i < 20; i++) {
+                        if (i % 3 == 0) continue;
+                        if (i > 15) break;
+                        total += i * 2 - 1;
+                    }
+                    int j = 0;
+                    do { total++; j++; } while (j < 3);
+                    while (j > 0) { j--; }
+                    return total;
+                }
+            }
+        """)
+
+    def test_truncating_division(self):
+        walk = assert_equivalent("""
+            class Demo {
+                static void main() {
+                    System.out.println(-7 / 2);
+                    System.out.println(-7 % 2);
+                    System.out.println(7 / -2);
+                    System.out.println(7.5 / 2);
+                }
+            }
+        """)
+        assert walk[1] == ["-3", "-1", "-3", "3.75"]
+
+    def test_string_concat_and_chars(self):
+        assert_equivalent("""
+            class Demo {
+                static void main() {
+                    char c = 'A';
+                    int n = c + 1;
+                    String s = "got " + c + " and " + n + " and " + true;
+                    System.out.println(s);
+                    System.out.println("x" + null);
+                }
+            }
+        """)
+
+    def test_fields_arrays_and_objects(self):
+        assert_equivalent("""
+            class Point {
+                int x; int y;
+                Point(int x, int y) { this.x = x; this.y = y; }
+                int dist2() { return x * x + y * y; }
+            }
+            class Demo {
+                static int main() {
+                    Point[] pts = new Point[3];
+                    int total = 0;
+                    for (int i = 0; i < pts.length; i++) {
+                        pts[i] = new Point(i, i + 1);
+                    }
+                    for (int i = 0; i < pts.length; i++) {
+                        pts[i].x = pts[i].x + 1;
+                        total += pts[i].dist2();
+                    }
+                    int[] init = {10, 20, 30};
+                    return total + init[1] + init.length;
+                }
+            }
+        """)
+
+    def test_virtual_dispatch_and_super(self):
+        assert_equivalent("""
+            class Animal {
+                String speak() { return "..."; }
+                String describe() { return "I say " + this.speak(); }
+            }
+            class Dog extends Animal {
+                String speak() { return "woof"; }
+                String describe() { return super.describe() + "!"; }
+            }
+            class Demo {
+                static void main() {
+                    Animal a = new Dog();
+                    System.out.println(a.describe());
+                    Animal plain = new Animal();
+                    System.out.println(plain.describe());
+                }
+            }
+        """)
+
+    def test_static_fields_and_methods(self):
+        assert_equivalent("""
+            class Counter {
+                static int count;
+                static int bump(int by) { count += by; return count; }
+            }
+            class Demo {
+                static int main() {
+                    Counter.bump(3);
+                    Counter.bump(4);
+                    Counter.count = Counter.count * 2;
+                    return Counter.count + Integer.MAX_VALUE % 7;
+                }
+            }
+        """)
+
+    def test_instanceof_casts_and_conditional(self):
+        assert_equivalent("""
+            class Base { int tag() { return 1; } }
+            class Sub extends Base { int tag() { return 2; } }
+            class Demo {
+                static int main() {
+                    Object[] xs = new Object[4];
+                    xs[0] = new Base(); xs[1] = new Sub();
+                    xs[2] = new Sub(); xs[3] = new Base();
+                    int total = 0;
+                    for (int i = 0; i < xs.length; i++) {
+                        Object x = xs[i];
+                        total += (x instanceof Sub)
+                            ? ((Sub) x).tag() * 10 : ((Base) x).tag();
+                    }
+                    double d = (double) total;
+                    int back = (int) (d / 2.0);
+                    char c = (char) 66;
+                    return total + back + c;
+                }
+            }
+        """)
+
+    def test_try_catch_finally(self):
+        walk = assert_equivalent("""
+            class Demo {
+                static int divide(int a, int b) {
+                    try {
+                        return a / b;
+                    } catch (ArithmeticException e) {
+                        System.out.println("caught: " + e.getMessage());
+                        return -1;
+                    } finally {
+                        System.out.println("finally");
+                    }
+                }
+                static int main() {
+                    int a = Demo.divide(10, 2);
+                    int b = Demo.divide(1, 0);
+                    try {
+                        throw new RuntimeException("boom");
+                    } catch (RuntimeException e) {
+                        System.out.println("rt: " + e.getMessage());
+                    }
+                    return a * 100 + b;
+                }
+            }
+        """)
+        assert walk[0] == 499
+        assert "caught: / by zero" in walk[1]
+
+    def test_finally_overrides_return(self):
+        walk = assert_equivalent("""
+            class Demo {
+                static int f() {
+                    try { return 1; } finally { return 2; }
+                }
+                static int g() {
+                    try { throw new RuntimeException("x"); }
+                    finally { return 3; }
+                }
+                static int main() { return Demo.f() * 10 + Demo.g(); }
+            }
+        """)
+        assert walk[0] == 23
+
+    def test_shadowing_in_sibling_blocks(self):
+        # Both backends use one flat frame per invocation, so a name
+        # redeclared in a sibling block reuses the same storage.
+        assert_equivalent("""
+            class Demo {
+                static int main() {
+                    int total = 0;
+                    { int x = 5; total += x; }
+                    { int x = 7; total += x; }
+                    for (int i = 0; i < 2; i++) { int y = i; total += y; }
+                    for (int i = 0; i < 2; i++) { int y = 10; total += y; }
+                    return total;
+                }
+            }
+        """)
+
+    def test_compound_assignment_and_incr(self):
+        assert_equivalent("""
+            class Demo {
+                static int main() {
+                    int[] a = new int[5];
+                    int i = 0;
+                    a[i++] += 7;
+                    a[++i] -= 2;
+                    int x = 10;
+                    x *= 3; x /= 2; x %= 7; x <<= 2; x >>= 1;
+                    return a[0] * 100 + a[2] * 10 + x + i;
+                }
+            }
+        """)
+
+    def test_bitwise_and_logical(self):
+        assert_equivalent("""
+            class Demo {
+                static int main() {
+                    int bits = (12 & 10) | (1 ^ 3);
+                    boolean p = true & false;
+                    boolean q = true | false;
+                    boolean r = true ^ true;
+                    boolean s = (bits > 0) && !r || q;
+                    return bits + (p ? 1 : 0) + (s ? 100 : 0);
+                }
+            }
+        """)
+
+    def test_recursion(self):
+        walk = assert_equivalent("""
+            class Demo {
+                static int fib(int n) {
+                    if (n < 2) return n;
+                    return Demo.fib(n - 1) + Demo.fib(n - 2);
+                }
+                static int main() { return Demo.fib(15); }
+            }
+        """)
+        assert walk[0] == 610
+
+
+# ---------------------------------------------------------------------------
+# Differential: exceptions escape identically
+# ---------------------------------------------------------------------------
+
+
+THROWING = [
+    ("java.lang.NullPointerException", """
+        class Demo {
+            static void main() { Object o = null; o.toString(); }
+        }
+    """),
+    ("java.lang.ArithmeticException", """
+        class Demo {
+            static int main() { int z = 0; return 5 / z; }
+        }
+    """),
+    ("java.lang.IndexOutOfBoundsException", """
+        class Demo {
+            static int main() { int[] a = new int[2]; return a[5]; }
+        }
+    """),
+    ("java.lang.ClassCastException", """
+        class A { } class B extends A { }
+        class Demo {
+            static void main() { A a = new A(); B b = (B) a; }
+        }
+    """),
+    ("java.lang.RuntimeException", """
+        class Demo {
+            static void main() { throw new RuntimeException("sad"); }
+        }
+    """),
+]
+
+
+class TestThrowParity:
+    @pytest.mark.parametrize("expected,source",
+                             THROWING, ids=[t[0] for t in THROWING])
+    def test_same_java_throw_class(self, expected, source):
+        program = compile_source(source)
+        thrown = {}
+        for backend in ("walk", "closure"):
+            interp = Interpreter(program, backend=backend)
+            with pytest.raises(JavaThrow) as exc:
+                interp.run_static("Demo")
+            thrown[backend] = (exc.value.value.class_type.name,
+                               exc.value.value.fields.get("message"))
+        assert thrown["walk"] == thrown["closure"]
+        assert thrown["walk"][0] == expected
+
+    def test_step_limit_parity(self):
+        source = """
+            class Demo {
+                static void main() { while (true) { int x = 1; } }
+            }
+        """
+        program = compile_source(source)
+        for backend in ("walk", "closure"):
+            interp = Interpreter(program, backend=backend,
+                                 max_steps=500)
+            with pytest.raises(StepLimitExceeded, match="step budget"):
+                interp.run_static("Demo")
+
+    def test_stack_overflow_parity(self):
+        source = """
+            class Demo {
+                static int loop(int n) { return Demo.loop(n + 1); }
+                static int main() { return Demo.loop(0); }
+            }
+        """
+        program = compile_source(source)
+        messages = {}
+        for backend in ("walk", "closure"):
+            interp = Interpreter(program, backend=backend,
+                                 max_call_depth=50)
+            with pytest.raises(Exception) as exc:
+                interp.run_static("Demo")
+            messages[backend] = str(exc.value)
+        assert messages["walk"] == messages["closure"]
+        assert "Java stack overflow" in messages["walk"]
+
+
+# ---------------------------------------------------------------------------
+# Virtual-lookup shadowing edges the inline caches must preserve
+# ---------------------------------------------------------------------------
+
+
+class TestVirtualLookupShadowing:
+    def test_stringbuffer_tostring_beats_object(self):
+        # toString is declared on Object; the receiver's runtime chain
+        # must win so StringBuffer.toString returns the buffer content,
+        # not "Object@...".  Loop so the inline cache's hit path is
+        # exercised, not just the miss.
+        walk = assert_equivalent("""
+            class Demo {
+                static void main() {
+                    StringBuffer sb = new StringBuffer();
+                    sb.append("a").append("b");
+                    for (int i = 0; i < 3; i++) {
+                        Object o = sb;
+                        System.out.println(o.toString());
+                    }
+                }
+            }
+        """)
+        assert walk[1] == ["ab", "ab", "ab"]
+
+    def test_user_override_beats_builtin(self):
+        walk = assert_equivalent("""
+            class Named {
+                String toString() { return "named!"; }
+            }
+            class Demo {
+                static void main() {
+                    Object o = new Named();
+                    for (int i = 0; i < 3; i++) {
+                        System.out.println(o.toString());
+                    }
+                }
+            }
+        """)
+        assert walk[1][0] == "named!"
+
+    def test_string_receiver_resolves_string_methods(self):
+        walk = assert_equivalent("""
+            class Demo {
+                static void main() {
+                    String s = "Hello";
+                    for (int i = 0; i < 3; i++) {
+                        System.out.println(s.toUpperCase() + s.length());
+                    }
+                }
+            }
+        """)
+        assert walk[1][0] == "HELLO5"
+
+    def test_mixed_receivers_at_one_site(self):
+        # One call site sees builtin peers (StringBuffer), user objects
+        # with overrides, and plain Objects — each class must cache its
+        # own target.
+        assert_equivalent("""
+            class Loud { String toString() { return "LOUD"; } }
+            class Demo {
+                static void main() {
+                    Object[] xs = new Object[3];
+                    StringBuffer sb = new StringBuffer();
+                    sb.append("buf");
+                    xs[0] = sb; xs[1] = new Loud(); xs[2] = "str";
+                    for (int round = 0; round < 2; round++) {
+                        for (int i = 0; i < xs.length; i++) {
+                            System.out.println(xs[i].toString());
+                        }
+                    }
+                }
+            }
+        """)
+
+
+# ---------------------------------------------------------------------------
+# Inline-cache behaviour and metrics
+# ---------------------------------------------------------------------------
+
+
+def _ic_counts():
+    family = REGISTRY.get("maya_interp_ic_events_total")
+    return {labels: child.value for labels, child in family.samples()}
+
+
+class TestInlineCaches:
+    def test_megamorphic_transition(self):
+        decls = "\n".join(
+            f"class C{i} extends Base {{ int tag() {{ return {i}; }} }}"
+            for i in range(10))
+        news = "\n".join(
+            f"xs[{i}] = new C{i}();" for i in range(10))
+        source = f"""
+            class Base {{ int tag() {{ return -1; }} }}
+            {decls}
+            class Demo {{
+                static int main() {{
+                    Base[] xs = new Base[10];
+                    {news}
+                    int total = 0;
+                    for (int round = 0; round < 3; round++) {{
+                        for (int i = 0; i < xs.length; i++) {{
+                            total += xs[i].tag();
+                        }}
+                    }}
+                    return total;
+                }}
+            }}
+        """
+        program = compile_source(source)
+        before = _ic_counts()
+        interp = Interpreter(program, backend="closure")
+        assert interp.run_static("Demo") == 3 * sum(range(10))
+        after = _ic_counts()
+        mega = after.get(("call", "megamorphic"), 0) - \
+            before.get(("call", "megamorphic"), 0)
+        hits = after.get(("call", "hit"), 0) - \
+            before.get(("call", "hit"), 0)
+        # 10 receiver classes at one site: 8 cached, 2 spill to
+        # megamorphic lookups every round after that.
+        assert mega >= 4
+        assert hits >= 8 * 2  # cached classes keep hitting
+
+    def test_plan_reused_across_interpreters(self):
+        source = """
+            class Demo {
+                static int main() {
+                    int t = 0;
+                    for (int i = 0; i < 5; i++) { t += i; }
+                    return t;
+                }
+            }
+        """
+        program = compile_source(source)
+        family = REGISTRY.get("maya_interp_closure_compiles_total")
+
+        def compiled_count():
+            return sum(child.value for labels, child in family.samples()
+                       if labels[0] == "compiled")
+
+        first = Interpreter(program, backend="closure")
+        assert first.run_static("Demo") == 10
+        after_first = compiled_count()
+        second = Interpreter(program, backend="closure")
+        assert second.run_static("Demo") == 10
+        assert compiled_count() == after_first  # plan cache hit
+
+    def test_profile_renders_ic_section(self, tmp_path, capsys):
+        src = tmp_path / "demo.maya"
+        src.write_text("""
+            class Greeter { String greet() { return "yo"; } }
+            class Demo {
+                static void main() {
+                    Greeter g = new Greeter();
+                    for (int i = 0; i < 10; i++) {
+                        System.out.println(g.greet());
+                    }
+                }
+            }
+        """)
+        assert mayac_main([str(src), "--run", "Demo",
+                           "--backend", "closure", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "inline caches (closure backend):" in err
+        assert "call" in err
+
+    def test_metrics_out_exports_ic_families(self, tmp_path, capsys):
+        src = tmp_path / "demo.maya"
+        src.write_text("""
+            class Demo {
+                static void main() {
+                    StringBuffer sb = new StringBuffer();
+                    for (int i = 0; i < 5; i++) { sb.append("x"); }
+                    System.out.println(sb.toString());
+                }
+            }
+        """)
+        out = tmp_path / "metrics.json"
+        assert mayac_main([str(src), "--run", "Demo",
+                           "--backend", "closure",
+                           "--metrics-out", str(out),
+                           "--metrics-format", "json"]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        names = {family["name"] for family in payload["families"]}
+        assert "maya_interp_ic_events_total" in names
+        assert "maya_interp_ops_total" in names
+        assert "maya_interp_closure_compiles_total" in names
+
+    def test_prometheus_export_includes_ic(self, tmp_path, capsys):
+        src = tmp_path / "demo.maya"
+        src.write_text("class Demo { static void main() "
+                       "{ System.out.println(\"m\"); } }")
+        out = tmp_path / "metrics.prom"
+        assert mayac_main([str(src), "--run", "Demo",
+                           "--backend", "closure",
+                           "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "maya_interp_ops_total" in text
+
+
+# ---------------------------------------------------------------------------
+# Counters view (the obs.metrics port)
+# ---------------------------------------------------------------------------
+
+
+class TestCountersView:
+    SRC = """
+        class Demo {
+            int f;
+            int poke() { f = f + 1; return f; }
+            static int main() {
+                Demo d = new Demo();
+                d.poke(); d.poke();
+                return d.poke();
+            }
+        }
+    """
+
+    def test_snapshot_shape(self):
+        program = compile_source(self.SRC)
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        snapshot = interp.counters.snapshot()
+        assert sorted(snapshot) == sorted(
+            ["allocations", "method_calls", "field_reads", "field_writes",
+             "array_reads", "array_writes", "statements"])
+        assert all(isinstance(v, int) for v in snapshot.values())
+        assert snapshot["allocations"] == 1
+        assert snapshot["method_calls"] == 4  # main + 3x poke
+
+    def test_reset_rebaselines(self):
+        program = compile_source(self.SRC)
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        assert interp.counters.method_calls > 0
+        interp.counters.reset()
+        assert interp.counters.method_calls == 0
+        assert interp.counters.snapshot()["statements"] == 0
+
+    def test_views_are_per_interpreter(self):
+        program = compile_source(self.SRC)
+        first = Interpreter(program)
+        first.run_static("Demo")
+        second = Interpreter(program)
+        assert second.counters.method_calls == 0
+        second.run_static("Demo")
+        assert second.counters.method_calls == 4
+
+    def test_registry_family_accumulates(self):
+        program = compile_source(self.SRC)
+        family = REGISTRY.get("maya_interp_ops_total")
+        before = {labels: child.value for labels, child in family.samples()}
+        interp = Interpreter(program)
+        interp.run_static("Demo")
+        after = {labels: child.value for labels, child in family.samples()}
+        assert after[("method_calls",)] - \
+            before.get(("method_calls",), 0) == 4
+
+
+# ---------------------------------------------------------------------------
+# Checker bookkeeping the backend relies on
+# ---------------------------------------------------------------------------
+
+
+class TestDeclaredLocals:
+    def test_body_stamped_with_declared_count(self):
+        program = compile_source("""
+            class Demo {
+                static int main() {
+                    int a = 1;
+                    { int b = 2; int c = 3; }
+                    for (int i = 0; i < 2; i++) { int d = i; }
+                    return a;
+                }
+            }
+        """)
+        decl = program.class_named("Demo").decl
+        method = next(m for m in decl.members
+                      if getattr(m, "name", None) is not None
+                      and m.name.name == "main")
+        # a, b, c, i, d — five bindings under the method root.
+        assert method.body.declared_locals == 5
+
+    def test_formals_counted(self):
+        program = compile_source("""
+            class Demo {
+                static int add(int x, int y) { int z = x + y; return z; }
+                static int main() { return Demo.add(1, 2); }
+            }
+        """)
+        decl = program.class_named("Demo").decl
+        method = next(m for m in decl.members
+                      if getattr(m, "name", None) is not None
+                      and m.name.name == "add")
+        assert method.body.declared_locals == 3  # x, y, z
+
+    def test_node_kind_tags(self):
+        from repro.ast import nodes as n
+
+        assert n.MethodInvocation.node_kind == "method_invocation"
+        assert n.IfStmt.node_kind == "if_stmt"
+        assert n.Literal.node_kind == "literal"
+        assert n.BlockStmts.node_kind == "block_stmts"
+        assert n.LazyNode.node_kind == "lazy_node"
+
+
+# ---------------------------------------------------------------------------
+# Every shipped example under both backends
+# ---------------------------------------------------------------------------
+
+
+class TestExamplesUnderBothBackends:
+    @pytest.mark.parametrize("name", SCRIPTS)
+    def test_example_script_identical_stdout(self, name, capsys,
+                                             monkeypatch):
+        from repro.hygiene import reset_fresh_names
+
+        outputs = {}
+        for backend in ("walk", "closure"):
+            # Gensym counters are process-wide; reset so the expanded
+            # source some examples print is identical across the runs.
+            reset_fresh_names()
+            monkeypatch.setenv("MAYA_BACKEND", backend)
+            run_example(name)
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["walk"] == outputs["closure"]
+        assert outputs["closure"].strip()
+
+    def test_hello_maya_identical_stdout(self, capsys):
+        outputs = {}
+        for backend in ("walk", "closure"):
+            assert mayac_main([HELLO, "--run", "Hello",
+                               "--backend", backend]) == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["walk"] == outputs["closure"]
+        assert "hello, maya" in outputs["closure"]
+
+
+# ---------------------------------------------------------------------------
+# Macro and MultiJava expansions under the closure backend
+# ---------------------------------------------------------------------------
+
+
+class TestExpandedCodeUnderClosure:
+    def test_foreach_expansion(self):
+        assert_equivalent("""
+            import java.util.*;
+            class Demo {
+                static void main() {
+                    use maya.util.ForEach;
+                    Vector v = new Vector();
+                    v.addElement("alpha");
+                    v.addElement("beta");
+                    v.elements().foreach(String s) {
+                        System.out.println(s);
+                    }
+                }
+            }
+        """, macros=True)
+
+    def test_multijava_dispatchers_compile_once(self):
+        source = """
+            use multijava.MultiJava;
+            class Shape { }
+            class Circle extends Shape { }
+            class Square extends Shape { }
+            class Namer {
+                String name(Shape s) { return "shape"; }
+                String name(Shape@Circle c) { return "circle"; }
+                String name(Shape@Square sq) { return "square"; }
+            }
+            class Demo {
+                static void main() {
+                    Namer n = new Namer();
+                    Shape[] xs = new Shape[3];
+                    xs[0] = new Shape(); xs[1] = new Circle();
+                    xs[2] = new Square();
+                    for (int round = 0; round < 2; round++) {
+                        for (int i = 0; i < xs.length; i++) {
+                            System.out.println(n.name(xs[i]));
+                        }
+                    }
+                }
+            }
+        """
+        walk, closure = run_both(source, multijava=True)
+        assert walk[1] == closure[1]
+        assert walk[1][:3] == ["shape", "circle", "square"]
+        assert walk[2] == closure[2]
+
+
+# ---------------------------------------------------------------------------
+# Fallback: unsupported shapes run on the walker, transparently
+# ---------------------------------------------------------------------------
+
+
+class TestWalkFallback:
+    def test_walk_sentinel_is_cached(self):
+        program = compile_source("""
+            class Demo {
+                static int main() { return 7; }
+            }
+        """)
+        decl = program.class_named("Demo").decl
+        method_decl = decl.members[0]
+        klass = program.class_named("Demo").type
+        method = klass.methods["main"][0]
+        plan = closures.plan_for(method)
+        assert plan is not closures.WALK
+        cached_epoch, cached = method._closure_plan
+        assert cached is plan
+        assert closures.plan_for(method) is plan
+
+    def test_intercession_invalidates_plans(self):
+        program = compile_source("""
+            class Demo {
+                static int main() { return 7; }
+            }
+        """)
+        klass = program.class_named("Demo").type
+        method = klass.methods["main"][0]
+        first = closures.plan_for(method)
+        from repro.types import bump_member_epoch
+
+        bump_member_epoch()
+        second = closures.plan_for(method)
+        assert second is not first  # recompiled under the new epoch
