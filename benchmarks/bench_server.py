@@ -1,0 +1,127 @@
+"""The compile service's reason to exist, measured: a warm mayad
+answering repeated compiles versus a cold one-shot mayac.
+
+The cold baseline regenerates everything a fresh ``mayac`` process
+would — a new compiler, the macro library, and the LALR tables (the
+in-memory cache is bypassed) — per compile.  The warm path sends the
+same corpus through a prewarmed daemon over real sockets, with the
+content-addressed artifact cache *disabled*, so the speedup measures
+shared grammar/table state, not response replay.  The acceptance bar
+(ISSUE: warm ≥ 5x cold) is asserted here and the throughput number is
+gated by ``compare.py``'s ``*_requests_per_s`` rule.
+"""
+
+import statistics
+import time
+
+from conftest import record_metric, report
+
+from repro.lalr.tables import bypass_caches
+from repro.server import DaemonConfig, MayaClient, MayaDaemon
+
+WARM_REQUESTS = 60
+COLD_COMPILES = 3
+
+
+def corpus_source(index: int) -> str:
+    return f"""
+        import java.util.*;
+        class Bench{index} {{
+            static void main() {{
+                use maya.util.ForEach;
+                Vector v = new Vector();
+                v.addElement("r{index}");
+                v.elements().foreach(String s) {{
+                    System.out.println(s);
+                }}
+            }}
+        }}
+    """
+
+
+def cold_compile_ms(index: int) -> float:
+    """One fully cold compile: fresh compiler, macro library, and LALR
+    tables built from scratch (as a new mayac process would)."""
+    from repro import MayaCompiler
+    from repro.macros import install_macro_library
+
+    started = time.perf_counter()
+    with bypass_caches():
+        compiler = MayaCompiler()
+        install_macro_library(compiler)
+        compiler.compile(corpus_source(index), f"cold{index}.maya")
+    return (time.perf_counter() - started) * 1000.0
+
+
+def percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1,
+                       int(len(ordered) * fraction))]
+
+
+def test_warm_daemon_vs_cold_mayac():
+    cold_ms = [cold_compile_ms(i) for i in range(COLD_COMPILES)]
+    cold = statistics.mean(cold_ms)
+
+    server = MayaDaemon(DaemonConfig(workers=2, prewarm=True)).start()
+    try:
+        client = MayaClient(server.address, retries=0)
+        warm_ms = []
+        for index in range(WARM_REQUESTS):
+            started = time.perf_counter()
+            response = client.compile(corpus_source(index),
+                                      f"warm{index}.maya", cache=False)
+            warm_ms.append((time.perf_counter() - started) * 1000.0)
+            assert response["status"] == "ok"
+    finally:
+        server.stop()
+
+    p50 = percentile(warm_ms, 0.50)
+    p99 = percentile(warm_ms, 0.99)
+    mean = statistics.mean(warm_ms)
+    requests_per_s = 1000.0 / mean
+    speedup = cold / mean
+
+    report("Warm mayad vs cold mayac", [
+        ["cold mayac compile (mean of "
+         f"{COLD_COMPILES})", f"{cold:.1f} ms"],
+        ["warm daemon request (mean of "
+         f"{WARM_REQUESTS})", f"{mean:.2f} ms"],
+        ["warm p50 / p99", f"{p50:.2f} / {p99:.2f} ms"],
+        ["warm throughput", f"{requests_per_s:.0f} requests/s"],
+        ["speedup", f"{speedup:.0f}x"],
+    ])
+    record_metric("server_cold_mayac_ms", round(cold, 2), "ms")
+    record_metric("server_warm_p50_ms", round(p50, 3), "ms")
+    record_metric("server_warm_p99_ms", round(p99, 3), "ms")
+    record_metric("server_warm_requests_per_s",
+                  round(requests_per_s, 1), "requests/s")
+    record_metric("server_warm_speedup", round(speedup, 1), "x")
+
+    # The acceptance bar: a warm daemon must beat cold mayac 5x over.
+    assert speedup >= 5.0, (
+        f"warm daemon only {speedup:.1f}x faster than cold mayac")
+
+
+def test_artifact_cache_replay_is_near_instant():
+    """With caching on, repeating a request skips the queue entirely."""
+    server = MayaDaemon(DaemonConfig(workers=2, prewarm=True)).start()
+    try:
+        client = MayaClient(server.address, retries=0)
+        source = corpus_source(0)
+        first = client.compile(source, "replay.maya", expand=True)
+        assert first["status"] == "ok"
+        replay_ms = []
+        for _ in range(20):
+            started = time.perf_counter()
+            response = client.compile(source, "replay.maya",
+                                      expand=True)
+            replay_ms.append((time.perf_counter() - started) * 1000.0)
+            assert response["cached"] is True
+    finally:
+        server.stop()
+    p50 = percentile(replay_ms, 0.50)
+    report("Artifact-cache replay", [
+        ["replay p50 (socket round-trip)", f"{p50:.2f} ms"],
+    ])
+    record_metric("server_replay_p50_ms", round(p50, 3), "ms")

@@ -53,6 +53,9 @@ NAME_RULES: Tuple[Tuple[str, str, float], ...] = (
     # closure backend stopped paying off.
     ("*_speedup", "higher", 0.35),
     ("*_calls_per_s", "higher", 0.50),
+    # Warm-daemon throughput — a drop means the compile service's
+    # shared caches stopped paying off.
+    ("*_requests_per_s", "higher", 0.50),
     ("*_hit_rate_pct", "higher", 0.05),
 )
 

@@ -265,6 +265,7 @@ class MayaCompiler:
             root = Scope(env=env)
             class_scope = root.class_scope(class_type)
             for member in item.decl.members:
+                env.diag.check_deadline()
                 try:
                     if isinstance(member, n.FieldDecl):
                         # Check field initializers as pseudo-declarations in

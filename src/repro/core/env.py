@@ -78,6 +78,30 @@ class CompileEnv:
     def child(self) -> "CompileEnv":
         return CompileEnv(parent=self)
 
+    @classmethod
+    def fresh_session(cls, *, fuel: Optional[int] = None,
+                      max_errors: Optional[int] = None,
+                      deadline: Optional[float] = None) -> "CompileEnv":
+        """A fully isolated per-session environment (the daemon's unit
+        of tenant isolation): its own grammar copy, type registry,
+        dispatcher, and diagnostic engine, configured with the
+        session's guard-rail budgets.  Nothing mutable is shared with
+        any other session — only the process-wide *content-keyed*
+        caches (LALR tables by grammar fingerprint) are reachable, and
+        those are immutable per key.
+
+        ``deadline`` is a ``time.monotonic()`` timestamp; the engine's
+        cooperative checks make it compose with the fuel/step budgets
+        (whichever trips first ends the compile with a diagnostic).
+        """
+        env = cls()
+        if fuel is not None:
+            env.diag.max_expansion_depth = max(1, fuel)
+        if max_errors is not None:
+            env.diag.max_errors = max(1, max_errors)
+        env.diag.deadline = deadline
+        return env
+
     # -- parsing -------------------------------------------------------------
 
     def tables(self) -> ParseTables:

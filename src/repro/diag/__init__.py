@@ -20,7 +20,12 @@ parser, checker, dispatcher, interpreter) depends on this one.
 """
 
 from repro.diag.diagnostic import Diagnostic, SourceSpan
-from repro.diag.errors import CompileFailed, DiagnosticError, diagnostic_from
+from repro.diag.errors import (
+    CompileFailed,
+    DeadlineExceededError,
+    DiagnosticError,
+    diagnostic_from,
+)
 from repro.diag.engine import (
     DEFAULT_EXPANSION_DEPTH,
     DEFAULT_MAX_ERRORS,
@@ -33,6 +38,7 @@ __all__ = [
     "DEFAULT_EXPANSION_DEPTH",
     "DEFAULT_MAX_ERRORS",
     "DEFAULT_MAYAN_REENTRY",
+    "DeadlineExceededError",
     "Diagnostic",
     "DiagnosticEngine",
     "DiagnosticError",

@@ -18,6 +18,7 @@ object every layer can already reach through its environment:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from repro.diag.diagnostic import Diagnostic
@@ -42,6 +43,21 @@ class DiagnosticEngine:
         self.max_errors = max_errors
         self.max_expansion_depth = max_expansion_depth
         self.max_mayan_reentry = max_mayan_reentry
+        #: Optional wall-clock budget (a ``time.monotonic()`` stamp).
+        #: Set per-request by the compile service so a runaway compile
+        #: trips cooperatively even before the fuel budget would.
+        self.deadline: Optional[float] = None
+
+    def check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceededError` past the deadline.
+
+        Called at cheap, frequent boundaries (each Mayan activation,
+        each member body) so per-request deadlines compose with the
+        fuel/step budgets instead of relying on an external kill."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            from repro.diag.errors import DeadlineExceededError
+
+            raise DeadlineExceededError(self.deadline)
 
     # -- sources ---------------------------------------------------------
 

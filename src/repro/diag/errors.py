@@ -61,6 +61,23 @@ def diagnostic_from(error: BaseException, phase: str = "general") -> Diagnostic:
     )
 
 
+class DeadlineExceededError(DiagnosticError):
+    """The compile's wall-clock budget ran out (a service deadline).
+
+    Raised cooperatively by :meth:`DiagnosticEngine.check_deadline`, so
+    a deadline surfaces as a located, structured diagnostic — like fuel
+    exhaustion — rather than an external kill."""
+
+    phase = "compile"
+
+    def __init__(self, deadline: float):
+        super().__init__(
+            "compile deadline exceeded: the request's wall-clock budget "
+            "ran out mid-compile (raise deadline_ms, or simplify the "
+            "expansion)")
+        self.deadline = deadline
+
+
 class CompileFailed(DiagnosticError):
     """Raised at the end of a compile that recorded multiple errors.
 

@@ -257,6 +257,10 @@ class Dispatcher:
         def run(index: int):
             if index < len(chain):
                 mayan, bindings = chain[index]
+                if engine is not None:
+                    # Wall-clock deadline composes with the fuel budget:
+                    # each Mayan activation is a cooperative checkpoint.
+                    engine.check_deadline()
                 self._check_fuel(mayan, location, stack,
                                  depth_limit, reentry_limit)
                 if profiler is not None:

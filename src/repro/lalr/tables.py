@@ -12,10 +12,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro import perf
+from repro import faults, perf
+from repro.obs.metrics import REGISTRY
 from repro.grammar import Assoc, Grammar, GrammarFingerprint, Production
 from repro.lalr.automaton import DOT_STRIDE, Automaton, item, item_parts
 from repro.lalr.encoded import EOF, PROBE, EncodedGrammar
@@ -309,31 +312,41 @@ class LRUCache:
 
     Lookups and stores feed the named :class:`repro.perf.CacheStats`,
     so hit rates and eviction pressure show up in ``mayac --profile``.
+    Thread-safe: the daemon's worker pool hits one shared instance
+    concurrently, and ``move_to_end`` during a racing store would
+    otherwise corrupt the recency order.
     """
 
     def __init__(self, maxsize: int, stats: perf.CacheStats):
         self.maxsize = maxsize
         self.stats = stats
         self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
-        value = self._data.get(key)
-        if value is None:
-            self.stats.miss()
-            return None
-        self._data.move_to_end(key)
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.stats.miss()
+                return None
+            self._data.move_to_end(key)
         self.stats.hit()
         return value
 
     def put(self, key, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        evictions = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                evictions += 1
+        for _ in range(evictions):
             self.stats.evict()
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -357,11 +370,46 @@ _DISK_CACHE_DIR: Optional[str] = os.environ.get("MAYA_TABLE_CACHE") or None
 
 _SNAPSHOT_FORMAT = 1
 
+#: Corrupt/truncated on-disk entries detected (then quarantined).
+_CORRUPT_TOTAL = REGISTRY.counter(
+    "maya_table_cache_corrupt_total",
+    "On-disk LALR table cache entries found corrupt, quarantined, and "
+    "regenerated.")
+
+#: When set (via :func:`bypass_caches`), ``tables_for`` neither reads
+#: nor writes any shared cache — the daemon's degraded single-shot
+#: mode, where a poisoned shared entry must not reach the re-run.
+_BYPASS = threading.local()
+
+
+@contextmanager
+def bypass_caches():
+    """Build tables from scratch, touching no shared cache (this
+    thread only)."""
+    previous = getattr(_BYPASS, "active", False)
+    _BYPASS.active = True
+    try:
+        yield
+    finally:
+        _BYPASS.active = previous
+
 
 def enable_disk_cache(path: Optional[str]) -> None:
     """Point the persistent table cache at ``path`` (None disables)."""
     global _DISK_CACHE_DIR
     _DISK_CACHE_DIR = path
+
+
+@contextmanager
+def disk_cache_at(path: Optional[str]):
+    """Scope the persistent table cache to ``path``, restoring the
+    previous directory on exit (tests and the daemon smoke drill)."""
+    previous = _DISK_CACHE_DIR
+    enable_disk_cache(path)
+    try:
+        yield
+    finally:
+        enable_disk_cache(previous)
 
 
 def disable_disk_cache() -> None:
@@ -378,21 +426,48 @@ def _disk_path(fingerprint: GrammarFingerprint) -> str:
     return os.path.join(_DISK_CACHE_DIR, f"tables-{digest[:32]}.pickle")
 
 
+def _quarantine(path: str) -> None:
+    """Move a corrupt cache entry aside (best-effort) so the *next*
+    load doesn't re-parse the same garbage, and the bad bytes stay
+    available for postmortems instead of being overwritten."""
+    try:
+        os.replace(path, path + ".quarantine")
+    except OSError:
+        pass
+
+
 def _disk_load(grammar: Grammar, fingerprint: GrammarFingerprint):
     if _DISK_CACHE_DIR is None:
         return None
     stats = perf.cache_stats("lalr.tables.disk")
+    path = _disk_path(fingerprint)
     try:
-        with open(_disk_path(fingerprint), "rb") as handle:
+        faults.check(faults.SITE_CACHE_LOAD)
+        with open(path, "rb") as handle:
             payload = pickle.load(handle)
+        if faults.corrupting(faults.SITE_CACHE_LOAD):
+            raise pickle.UnpicklingError("injected corrupt cache entry")
+        if not isinstance(payload, dict):
+            raise pickle.UnpicklingError("cache payload is not a dict")
         if (payload.get("format") != _SNAPSHOT_FORMAT
                 or payload.get("key") != fingerprint.key):
+            # A *stale* entry (old format, different grammar) is a
+            # plain miss: well-formed, just not ours to use.
             stats.miss()
             return None
         tables = ParseTables.from_snapshot(grammar, payload["snapshot"])
+    except (FileNotFoundError, faults.InjectedFault):
+        # Absent entry, or an injected I/O failure: a plain miss —
+        # regenerate without touching the file.
+        stats.miss()
+        return None
     except Exception:
-        # A stale, truncated, or unreadable cache entry is never an
-        # error — fall back to generating the tables.
+        # Truncated pickle, garbage bytes, malformed snapshot: the
+        # entry is *corrupt*.  Crash-safe hygiene: quarantine it, count
+        # it, and fall through to regeneration — a bad cache file must
+        # never take the loader (or the daemon above it) down.
+        _quarantine(path)
+        _CORRUPT_TOTAL.inc()
         stats.miss()
         return None
     stats.hit()
@@ -434,6 +509,8 @@ def tables_for(grammar: Grammar) -> ParseTables:
     means every CompileEnv sharing the base grammar shares one table
     set.
     """
+    if getattr(_BYPASS, "active", False):
+        return ParseTables(grammar)
     fingerprint = grammar.fingerprint()
     tables = _TABLE_CACHE.get(fingerprint)
     if tables is None:

@@ -3,6 +3,10 @@
     python -m repro.mayac [options] file.maya ...
 
 Options:
+    --daemon ADDR     compile on a running mayad at ADDR (host:port or
+                      a Unix socket path) instead of in-process — the
+                      warm daemon skips grammar/table building; see
+                      ``python -m repro.server``
     --use NAME        import a metaprogram compiler-wide (repeatable;
                       the paper's -use option)
     --run CLASS       interpret CLASS.main() after compiling
@@ -83,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mayac", description="Compile (and run) Maya source files."
     )
     parser.add_argument("files", nargs="+", help="source files")
+    parser.add_argument("--daemon", metavar="ADDR",
+                        help="compile on a running mayad (host:port or "
+                             "socket path) instead of in-process")
     parser.add_argument("--use", action="append", default=[],
                         metavar="NAME",
                         help="import a metaprogram compiler-wide")
@@ -175,8 +182,53 @@ def _write_output(path: str, text: str, engine, what: str) -> bool:
         return False
 
 
+def _daemon_main(args) -> int:
+    """Delegate compilation to a running mayad (``--daemon``)."""
+    from repro.server.client import DaemonError, MayaClient
+    from repro.server.protocol import STATUS_COMPILE_ERROR, STATUS_OK
+
+    if args.run:
+        print("mayac: --run is not supported with --daemon "
+              "(the daemon compiles; run locally)", file=sys.stderr)
+        return 2
+    client = MayaClient(args.daemon)
+    code = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"mayac: cannot read {path}: {error.strerror}",
+                  file=sys.stderr)
+            return 1
+        try:
+            response = client.compile(
+                source, filename=path, expand=args.expand,
+                provenance=args.provenance, use=args.use,
+                multijava=args.multijava, no_macros=args.no_macros,
+                fuel=args.fuel, max_errors=args.max_errors)
+        except DaemonError as error:
+            print(f"mayac: {error}", file=sys.stderr)
+            return 3
+        status = response.get("status")
+        if status == STATUS_OK:
+            if args.expand and "expanded" in response:
+                print(response["expanded"])
+            continue
+        for diagnostic in response.get("diagnostics", ()):
+            print(diagnostic.get("rendered")
+                  or diagnostic.get("message", ""), file=sys.stderr)
+        errors = len(response.get("diagnostics", ())) or 1
+        plural = "s" if errors != 1 else ""
+        print(f"mayac: {errors} error{plural}", file=sys.stderr)
+        code = 1 if status == STATUS_COMPILE_ERROR else 3
+    return code
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.daemon:
+        return _daemon_main(args)
     if args.table_cache:
         from repro.lalr.tables import enable_disk_cache
 
@@ -277,5 +329,32 @@ def main(argv=None) -> int:
     return finish(0)
 
 
+def cli(argv=None) -> int:
+    """``main`` plus conventional Unix exit behavior: SIGINT exits 130
+    (128 + SIGINT) with a one-line note, and a closed stdout (e.g.
+    ``mayac --expand | head``) exits 0 — neither ever prints a Python
+    traceback."""
+    try:
+        return main(argv)
+    except KeyboardInterrupt:
+        try:
+            print("mayac: interrupted", file=sys.stderr)
+        except Exception:
+            pass
+        return 130
+    except BrokenPipeError:
+        # The reader went away; the convention is silent success.
+        # Point stdout at devnull so interpreter-exit flushing doesn't
+        # raise a secondary BrokenPipeError after we return.
+        try:
+            import os
+
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except Exception:
+            sys.stdout = open(os.devnull, "w")
+        return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli())

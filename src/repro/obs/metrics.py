@@ -28,7 +28,16 @@ metrics recorded deep inside a phase, e.g. lazy-thunk forcing.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: One process-wide lock serializing every child mutation.  Increments
+#: are read-modify-write (``self.value += n`` is several bytecodes), so
+#: without this a daemon worker pool hammering one shared child would
+#: lose counts.  A single shared lock keeps children allocation-free
+#: and the uncontended acquire is ~100ns — noise next to the dispatch
+#: work each increment accounts for.
+_VALUE_LOCK = threading.Lock()
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -64,10 +73,12 @@ class Counter:
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise MetricError("counters only go up; use a Gauge")
-        self.value += amount
+        with _VALUE_LOCK:
+            self.value += amount
 
     def _reset(self) -> None:
-        self.value = 0
+        with _VALUE_LOCK:
+            self.value = 0
 
 
 class Gauge:
@@ -79,16 +90,20 @@ class Gauge:
         self.value = 0
 
     def set(self, value: float) -> None:
-        self.value = value
+        with _VALUE_LOCK:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with _VALUE_LOCK:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with _VALUE_LOCK:
+            self.value -= amount
 
     def _reset(self) -> None:
-        self.value = 0
+        with _VALUE_LOCK:
+            self.value = 0
 
 
 class Histogram:
@@ -118,17 +133,18 @@ class Histogram:
         self.buckets = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
+        with _VALUE_LOCK:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.buckets[index] += 1
+                    return
+            self.buckets[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -162,10 +178,11 @@ class Histogram:
         }
 
     def _reset(self) -> None:
-        self.count = 0
-        self.total = 0
-        self.min = self.max = None
-        self.buckets = [0] * (len(self.bounds) + 1)
+        with _VALUE_LOCK:
+            self.count = 0
+            self.total = 0
+            self.min = self.max = None
+            self.buckets = [0] * (len(self.bounds) + 1)
 
     def __repr__(self) -> str:
         return (f"Histogram({self.name}: n={self.count}, "
@@ -240,7 +257,13 @@ class MetricFamily:
             )
         child = self._children.get(key)
         if child is None:
-            child = self._children[key] = self._make_child()
+            # Two threads may race to create the same child; the lock
+            # makes the second reuse the first's (bound children must
+            # stay unique per label set or counts would split).
+            with _VALUE_LOCK:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._make_child()
         return child
 
     def samples(self) -> Iterator[Tuple[Tuple[str, ...], object]]:
@@ -294,10 +317,18 @@ class MetricsRegistry:
 
     def __init__(self):
         self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
 
     def _register(self, name: str, help_text: str, kind: str,
                   labelnames: Sequence[str],
                   bounds: Optional[Sequence[float]] = None) -> MetricFamily:
+        with self._lock:
+            return self._register_locked(name, help_text, kind,
+                                         labelnames, bounds)
+
+    def _register_locked(self, name: str, help_text: str, kind: str,
+                         labelnames: Sequence[str],
+                         bounds: Optional[Sequence[float]]) -> MetricFamily:
         family = self._families.get(name)
         if family is not None:
             if family.kind != kind:
@@ -373,21 +404,33 @@ REGISTRY = MetricsRegistry()
 
 # ---------------------------------------------------------------------------
 # Current compiler phase (pushed by perf.phase) — label attribution
-# for metrics recorded while a phase is active.
+# for metrics recorded while a phase is active.  Thread-local: daemon
+# workers each run their own compile pipeline, and one worker's phase
+# must not label another's metrics.
 # ---------------------------------------------------------------------------
 
-_phase_stack: List[str] = []
+_phase_stacks = threading.local()
+
+
+def _phase_stack() -> List[str]:
+    stack = getattr(_phase_stacks, "stack", None)
+    if stack is None:
+        stack = _phase_stacks.stack = []
+    return stack
 
 
 def push_phase(name: str) -> None:
-    _phase_stack.append(name)
+    _phase_stack().append(name)
 
 
 def pop_phase() -> None:
-    if _phase_stack:
-        _phase_stack.pop()
+    stack = _phase_stack()
+    if stack:
+        stack.pop()
 
 
 def current_phase() -> str:
-    """The innermost active compiler phase, or "" outside any phase."""
-    return _phase_stack[-1] if _phase_stack else ""
+    """The innermost active compiler phase (this thread's), or ""
+    outside any phase."""
+    stack = _phase_stack()
+    return stack[-1] if stack else ""

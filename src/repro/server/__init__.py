@@ -1,0 +1,31 @@
+"""repro.server: the ``mayad`` compile service.
+
+A long-running daemon that amortizes grammar building, LALR table
+generation, and plan caching across compile requests — the paper's
+mayac as a multi-tenant service.  The package splits into:
+
+* :mod:`repro.server.protocol` — the length-prefixed JSON wire format
+  and the structured response codes;
+* :mod:`repro.server.state` — the shared read-only cache layer
+  (epoch/snapshot handoff, the content-addressed artifact cache);
+* :mod:`repro.server.daemon` — :class:`MayaDaemon`: listener,
+  admission control, the worker pool with crash containment;
+* :mod:`repro.server.client` — :class:`MayaClient` with retry and
+  jittered exponential backoff;
+* :mod:`repro.server.smoke` — the self-contained smoke/fault drill
+  CI runs (``python -m repro.server.smoke``).
+
+Run the daemon with ``python -m repro.server`` (see ``--help``);
+point ``mayac --daemon HOST:PORT`` or :class:`MayaClient` at it.
+"""
+
+from repro.server.client import DaemonError, MayaClient, parse_address
+from repro.server.daemon import DaemonConfig, MayaDaemon
+
+__all__ = [
+    "DaemonConfig",
+    "DaemonError",
+    "MayaClient",
+    "MayaDaemon",
+    "parse_address",
+]

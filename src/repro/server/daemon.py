@@ -1,0 +1,565 @@
+"""mayad: the compile daemon.
+
+One process, many tenants.  The daemon amortizes everything expensive
+— the base-grammar singleton, LALR table generation (the process-wide
+fingerprint-keyed cache), compiled-artifact payloads — while keeping
+everything *mutable* strictly per-request: each compile gets a fresh
+:class:`CompileEnv` (own grammar copy, type registry, dispatcher,
+diagnostic engine), so one tenant's ``use``/``syntax`` extensions can
+never leak into another's parse.
+
+Robustness model (each arrow is a tested degradation, never a dead
+daemon):
+
+* **admission control** — a bounded queue; when it is full the request
+  is shed *immediately* with a structured ``overloaded`` response and
+  a retry hint, instead of joining an unbounded latency tail;
+* **deadlines** — every request carries a wall-clock budget that
+  composes with the per-compile fuel/step budgets
+  (``DiagnosticEngine.deadline``): the connection handler stops
+  waiting at the deadline, and the compile itself trips cooperatively
+  at the next Mayan activation or member boundary;
+* **crash containment** — a request that kills its worker
+  (:class:`repro.faults.WorkerCrash`, or any escaped non-diagnostic
+  error) is quarantined and re-run **once** on a fresh thread in
+  degraded single-shot mode (fresh env, shared caches bypassed); only
+  if that also dies is ``worker-crashed`` reported.  The pool replaces
+  the dead worker either way;
+* **hang containment** — a worker still busy past its request's
+  deadline is marked a zombie (it exits after its current request) and
+  replaced, so capacity cannot wedge behind a hung compile;
+* **cache hygiene** — shared caches hand off immutable epoch-stamped
+  snapshots (:mod:`repro.server.state`); corrupt on-disk table-cache
+  entries are quarantined and regenerated (:mod:`repro.lalr.tables`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_mod
+import socket
+import threading
+import time
+from typing import List, Optional
+
+from repro import faults
+from repro.core.env import CompileEnv
+from repro.diag import CompileFailed, DiagnosticError
+from repro.lalr import tables as lalr_tables
+from repro.obs import export as obs_export
+from repro.obs.metrics import REGISTRY
+from repro.server import protocol, state
+from repro.server.protocol import (
+    STATUS_BAD_REQUEST,
+    STATUS_COMPILE_ERROR,
+    STATUS_DEADLINE,
+    STATUS_INTERNAL,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN,
+    STATUS_WORKER_CRASHED,
+    error_response,
+)
+
+REQUESTS = REGISTRY.counter(
+    "maya_server_requests_total", "Requests by operation and outcome.",
+    labelnames=("op", "status"))
+QUEUE_DEPTH = REGISTRY.gauge(
+    "maya_server_queue_depth", "Compile requests queued right now.")
+SHED = REGISTRY.counter(
+    "maya_server_shed_total", "Requests rejected by admission control.")
+DEADLINES = REGISTRY.counter(
+    "maya_server_deadline_total", "Requests that hit their deadline.")
+CRASHES = REGISTRY.counter(
+    "maya_server_worker_crashes_total", "Worker crashes by containment "
+    "outcome.", labelnames=("outcome",))
+WORKERS = REGISTRY.gauge(
+    "maya_server_workers", "Live (non-zombie) worker threads.")
+REPLACED = REGISTRY.counter(
+    "maya_server_workers_replaced_total",
+    "Workers replaced after a crash or hang.")
+DISCONNECTS = REGISTRY.counter(
+    "maya_server_client_disconnects_total",
+    "Connections dropped mid-conversation by the client.")
+REQUEST_MS = REGISTRY.histogram(
+    "maya_server_request_ms", "End-to-end compile request latency (ms).",
+    bounds=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000))
+
+_STOP = object()
+
+
+class DaemonConfig:
+    """Tunables for one :class:`MayaDaemon`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 socket_path: Optional[str] = None, workers: int = 4,
+                 queue_size: int = 16, default_deadline_s: float = 30.0,
+                 max_deadline_s: float = 120.0, fuel_cap: int = 1024,
+                 max_errors_cap: int = 200,
+                 artifact_cache_size: int = 256, prewarm: bool = True):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.workers = max(1, workers)
+        self.queue_size = max(1, queue_size)
+        self.default_deadline_s = default_deadline_s
+        self.max_deadline_s = max_deadline_s
+        self.fuel_cap = fuel_cap
+        self.max_errors_cap = max_errors_cap
+        self.artifact_cache_size = artifact_cache_size
+        self.prewarm = prewarm
+
+
+class _Request:
+    """One queued compile: payload plus its result future."""
+
+    __slots__ = ("payload", "options", "received", "deadline", "done",
+                 "response", "abandoned", "worker", "degraded", "_lock")
+
+    def __init__(self, payload: dict, deadline: float):
+        self.payload = payload
+        self.options = payload.get("options") or {}
+        self.received = time.monotonic()
+        self.deadline = deadline
+        self.done = threading.Event()
+        self.response: Optional[dict] = None
+        self.abandoned = False
+        self.worker: Optional["_Worker"] = None
+        self.degraded = False
+        self._lock = threading.Lock()
+
+    def resolve(self, response: dict) -> bool:
+        """First writer wins; later resolutions (a zombie worker
+        finishing after the handler timed out) are dropped."""
+        with self._lock:
+            if self.response is not None:
+                return False
+            self.response = response
+        self.done.set()
+        return True
+
+
+class _Worker:
+    __slots__ = ("thread", "current", "zombie", "name")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.thread: Optional[threading.Thread] = None
+        self.current: Optional[_Request] = None
+        self.zombie = False
+
+
+class MayaDaemon:
+    """The compile service: listener, admission queue, worker pool."""
+
+    def __init__(self, config: Optional[DaemonConfig] = None):
+        self.config = config or DaemonConfig()
+        self.artifacts = state.ArtifactCache(self.config.artifact_cache_size)
+        self._queue: "queue_mod.Queue" = queue_mod.Queue(
+            self.config.queue_size)
+        self._workers: List[_Worker] = []
+        self._pool_lock = threading.Lock()
+        self._worker_seq = itertools.count(1)
+        self._request_seq = itertools.count(1)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = False
+        self._started_at = 0.0
+        self.prewarm_s = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        if self.config.socket_path:
+            return self.config.socket_path
+        host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "MayaDaemon":
+        if self.config.socket_path:
+            self._listener = socket.socket(socket.AF_UNIX,
+                                           socket.SOCK_STREAM)
+            self._listener.bind(self.config.socket_path)
+        else:
+            self._listener = socket.socket(socket.AF_INET,
+                                           socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEADDR, 1)
+            self._listener.bind((self.config.host, self.config.port))
+        self._listener.listen(64)
+        self._running = True
+        self._started_at = time.monotonic()
+        if self.config.prewarm:
+            self.prewarm_s = state.prewarm()
+        with self._pool_lock:
+            for _ in range(self.config.workers):
+                self._spawn_worker_locked()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="mayad-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful stop: refuse new work, drain workers, close."""
+        if not self._running:
+            return
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._pool_lock:
+            workers = list(self._workers)
+        for _ in workers:
+            self._queue.put(_STOP)
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            remaining = max(0.0, deadline - time.monotonic())
+            if worker.thread is not None:
+                worker.thread.join(remaining)
+        if self.config.socket_path:
+            import os
+
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+
+    # -- listener ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            threading.Thread(target=self._handle_connection, args=(conn,),
+                             name="mayad-conn", daemon=True).start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        shutdown_after = False
+        try:
+            while True:
+                request = protocol.recv_frame(conn)
+                if request is None:
+                    return  # clean EOF
+                response = self._dispatch(request)
+                protocol.send_frame(conn, response)
+                if request.get("op") == "shutdown" \
+                        and response.get("status") == STATUS_OK:
+                    shutdown_after = True
+                    return
+        except protocol.ProtocolError as error:
+            # Malformed frame or the client vanished mid-frame: answer
+            # if the socket still works, then drop the connection.
+            DISCONNECTS.inc()
+            try:
+                protocol.send_frame(
+                    conn, error_response(STATUS_BAD_REQUEST, str(error)))
+            except (OSError, protocol.ProtocolError):
+                pass
+        except (ConnectionError, OSError, faults.InjectedFault):
+            # The client vanished — or a socket-site fault fired.  Either
+            # way only this connection dies, never the daemon.
+            DISCONNECTS.inc()
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if shutdown_after:
+                self.stop()
+
+    # -- request dispatch --------------------------------------------------
+
+    def _dispatch(self, request: dict) -> dict:
+        op = str(request.get("op", ""))
+        if op == "ping":
+            REQUESTS.labels(op="ping", status=STATUS_OK).inc()
+            return self._ping_response()
+        if op == "metrics":
+            REQUESTS.labels(op="metrics", status=STATUS_OK).inc()
+            return {"protocol": protocol.PROTOCOL_VERSION,
+                    "status": STATUS_OK,
+                    "metrics": obs_export.to_json(REGISTRY)}
+        if op == "shutdown":
+            REQUESTS.labels(op="shutdown", status=STATUS_OK).inc()
+            return {"protocol": protocol.PROTOCOL_VERSION,
+                    "status": STATUS_OK, "stopping": True}
+        if op == "compile":
+            response = self._handle_compile(request)
+            REQUESTS.labels(op="compile",
+                            status=str(response.get("status"))).inc()
+            return response
+        REQUESTS.labels(op=op or "<missing>",
+                        status=STATUS_BAD_REQUEST).inc()
+        return error_response(STATUS_BAD_REQUEST, f"unknown op {op!r}")
+
+    def _ping_response(self) -> dict:
+        with self._pool_lock:
+            live = sum(1 for w in self._workers if not w.zombie)
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "status": STATUS_OK,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": live,
+            "queue_depth": self._queue.qsize(),
+            "artifact_epoch": self.artifacts.epoch,
+            "faults": faults.active_plan().spec,
+        }
+
+    # -- compile path ------------------------------------------------------
+
+    def _handle_compile(self, payload: dict) -> dict:
+        source = payload.get("source")
+        filename = payload.get("filename") or "<daemon>"
+        if not isinstance(source, str):
+            return error_response(STATUS_BAD_REQUEST,
+                                  "compile request needs a string 'source'")
+        if not self._running:
+            return error_response(STATUS_SHUTTING_DOWN,
+                                  "daemon is shutting down")
+
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            return error_response(STATUS_BAD_REQUEST,
+                                  "'options' must be an object")
+        deadline_s = options.get("deadline_ms")
+        try:
+            deadline_s = (float(deadline_s) / 1000.0
+                          if deadline_s is not None
+                          else self.config.default_deadline_s)
+        except (TypeError, ValueError):
+            return error_response(STATUS_BAD_REQUEST,
+                                  "'deadline_ms' must be a number")
+        deadline_s = min(max(deadline_s, 0.001), self.config.max_deadline_s)
+        started = time.monotonic()
+        request = _Request(payload, deadline=started + deadline_s)
+
+        # Content-addressed artifact cache: a hit skips the queue
+        # entirely (the cached response *is* the right answer).
+        key = None
+        if options.get("cache", True):
+            key = state.artifact_key(source, filename, options)
+            cached = self.artifacts.lookup(key)
+            if cached is not None:
+                cached["stats"] = {"cached": True, "wait_ms": 0.0}
+                REQUEST_MS.observe((time.monotonic() - started) * 1000.0)
+                return cached
+
+        # Admission control: a full queue sheds *now*, with a hint.
+        try:
+            self._queue.put_nowait(request)
+        except queue_mod.Full:
+            SHED.inc()
+            return error_response(
+                STATUS_OVERLOADED,
+                f"compile queue is full ({self.config.queue_size} deep); "
+                f"retry with backoff",
+                queue_depth=self.config.queue_size,
+                retry_after_ms=50)
+        QUEUE_DEPTH.inc()
+
+        finished = request.done.wait(max(0.0, request.deadline
+                                         - time.monotonic()) + 0.05)
+        if not finished:
+            request.abandoned = True
+            DEADLINES.inc()
+            self._contain_overdue(request)
+            return error_response(
+                STATUS_DEADLINE,
+                f"request exceeded its {deadline_s * 1000:.0f}ms deadline",
+                deadline_ms=deadline_s * 1000.0)
+        response = request.response
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        REQUEST_MS.observe(elapsed_ms)
+        if key is not None and response.get("status") in (
+                STATUS_OK, STATUS_COMPILE_ERROR):
+            self.artifacts.store(key, response)
+        stats = response.setdefault("stats", {})
+        stats["total_ms"] = round(elapsed_ms, 3)
+        return response
+
+    def _execute(self, request: _Request, degraded: bool = False) -> dict:
+        """Run one compile in a fresh, isolated environment."""
+        payload = request.payload
+        options = request.options
+        fuel = _bounded_int(options.get("fuel"), self.config.fuel_cap)
+        max_errors = _bounded_int(options.get("max_errors"),
+                                  self.config.max_errors_cap)
+        env = CompileEnv.fresh_session(fuel=fuel, max_errors=max_errors,
+                                       deadline=request.deadline)
+        engine = env.diag
+        started = time.perf_counter()
+        try:
+            from repro import MayaCompiler
+            from repro.macros import install_macro_library
+
+            compiler = MayaCompiler(env)
+            if not options.get("no_macros"):
+                install_macro_library(compiler)
+            if options.get("multijava"):
+                from repro.multijava import install_multijava
+
+                install_multijava(compiler)
+            for name in options.get("use") or ():
+                compiler.use(str(name))
+            faults.check(faults.SITE_WORKER_EXECUTE)
+            if degraded:
+                # Single-shot mode: a poisoned shared cache must not be
+                # able to kill the rerun too.
+                with lalr_tables.bypass_caches():
+                    program = compiler.compile(
+                        source=payload["source"],
+                        filename=payload.get("filename") or "<daemon>")
+            else:
+                program = compiler.compile(
+                    source=payload["source"],
+                    filename=payload.get("filename") or "<daemon>")
+        except CompileFailed as failure:
+            return self._compile_error(engine, failure.diagnostics)
+        except DiagnosticError as failure:
+            return self._compile_error(engine, [failure.diagnostic])
+        response = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "status": STATUS_OK,
+            "classes": sorted(program.classes),
+            "stats": {"compile_ms": round(
+                (time.perf_counter() - started) * 1000.0, 3)},
+        }
+        if degraded:
+            response["degraded"] = True
+        if options.get("expand"):
+            response["expanded"] = program.source(
+                provenance=bool(options.get("provenance")))
+        return response
+
+    @staticmethod
+    def _compile_error(engine, diagnostics) -> dict:
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "status": STATUS_COMPILE_ERROR,
+            "diagnostics": [{
+                "message": diag.message,
+                "severity": diag.severity,
+                "phase": diag.phase,
+                "span": str(diag.span) if diag.span is not None else None,
+                "rendered": engine.render(diag),
+            } for diag in diagnostics],
+        }
+
+    # -- worker pool -------------------------------------------------------
+
+    def _spawn_worker_locked(self) -> _Worker:
+        worker = _Worker(f"mayad-worker-{next(self._worker_seq)}")
+        worker.thread = threading.Thread(
+            target=self._worker_loop, args=(worker,), name=worker.name,
+            daemon=True)
+        self._workers.append(worker)
+        WORKERS.inc()
+        worker.thread.start()
+        return worker
+
+    def _worker_loop(self, worker: _Worker) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _STOP:
+                self._retire(worker)
+                return
+            QUEUE_DEPTH.dec()
+            if request.abandoned:
+                # Expired while queued: the handler already answered.
+                request.resolve(error_response(
+                    STATUS_DEADLINE, "expired before a worker was free"))
+                continue
+            worker.current = request
+            request.worker = worker
+            try:
+                response = self._execute(request)
+            except faults.WorkerCrash:
+                worker.current = None
+                self._contain_crash(worker, request)
+                return  # this worker is dead
+            except Exception as error:
+                # An escaped non-diagnostic error is a server bug, but
+                # it is *this request's* problem only.
+                response = error_response(
+                    STATUS_INTERNAL,
+                    f"{type(error).__name__}: {error}")
+            worker.current = None
+            request.resolve(response)
+            if worker.zombie:
+                self._retire(worker)
+                return
+
+    def _retire(self, worker: _Worker) -> None:
+        with self._pool_lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
+                WORKERS.dec()
+
+    def _contain_crash(self, worker: _Worker, request: _Request) -> None:
+        """A worker died executing ``request``: replace the worker and
+        quarantine the request for one degraded re-run."""
+        self._retire(worker)
+        if self._running:
+            with self._pool_lock:
+                self._spawn_worker_locked()
+            REPLACED.inc()
+        if request.degraded:
+            CRASHES.labels(outcome="degraded_failed").inc()
+            request.resolve(error_response(
+                STATUS_WORKER_CRASHED,
+                "request crashed its worker twice (original and degraded "
+                "re-run); giving up"))
+            return
+        CRASHES.labels(outcome="contained").inc()
+        request.degraded = True
+
+        def rerun() -> None:
+            try:
+                response = self._execute(request, degraded=True)
+            except faults.WorkerCrash:
+                CRASHES.labels(outcome="degraded_failed").inc()
+                response = error_response(
+                    STATUS_WORKER_CRASHED,
+                    "request crashed its worker twice (original and "
+                    "degraded re-run); giving up")
+            except Exception as error:
+                response = error_response(
+                    STATUS_INTERNAL,
+                    f"degraded re-run failed: "
+                    f"{type(error).__name__}: {error}")
+            request.resolve(response)
+
+        threading.Thread(target=rerun, name="mayad-quarantine",
+                         daemon=True).start()
+
+    def _contain_overdue(self, request: _Request) -> None:
+        """The deadline passed: if a worker is still grinding on this
+        request, zombie it (it exits after finishing) and backfill."""
+        worker = request.worker
+        if worker is None or worker.current is not request:
+            return
+        with self._pool_lock:
+            if worker.zombie or worker not in self._workers:
+                return
+            worker.zombie = True
+            WORKERS.dec()
+            self._workers.remove(worker)
+            self._spawn_worker_locked()
+        REPLACED.inc()
+
+
+def _bounded_int(value, cap: int) -> Optional[int]:
+    if value is None:
+        return None
+    try:
+        return max(1, min(int(value), cap))
+    except (TypeError, ValueError):
+        return None

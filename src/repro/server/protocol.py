@@ -1,0 +1,112 @@
+"""The mayad wire protocol: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Length-prefixing (rather than newline framing)
+keeps arbitrary source text — including newlines and partial writes —
+unambiguous, and lets the receiver reject oversized frames *before*
+buffering them.
+
+Requests are ``{"op": ..., ...}``; responses always carry ``status``
+(one of the ``STATUS_*`` constants) and, on failure, a structured
+``diagnostics`` list so clients render the same caret-style output a
+local mayac would.  Socket reads and writes are fault-injection
+checkpoints (:data:`repro.faults.SITE_SOCKET_READ` / ``_WRITE``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro import faults
+
+#: Wire format version, echoed in every response.
+PROTOCOL_VERSION = 1
+
+#: Refuse frames beyond this size (a corrupt length prefix must not
+#: make the receiver try to buffer gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+# -- response status codes --------------------------------------------------
+
+STATUS_OK = "ok"
+STATUS_COMPILE_ERROR = "compile-error"       # source is at fault
+STATUS_BAD_REQUEST = "bad-request"           # request is malformed
+STATUS_OVERLOADED = "overloaded"             # admission control shed it
+STATUS_DEADLINE = "deadline-exceeded"        # per-request deadline hit
+STATUS_WORKER_CRASHED = "worker-crashed"     # crashed twice (incl. rerun)
+STATUS_INTERNAL = "internal-error"           # recoverable server bug
+STATUS_SHUTTING_DOWN = "shutting-down"       # daemon is stopping
+
+#: Statuses a client may retry (with backoff) — the request itself is
+#: fine, the service was momentarily unable to take it.
+RETRYABLE_STATUSES = frozenset({STATUS_OVERLOADED, STATUS_SHUTTING_DOWN})
+
+
+class ProtocolError(Exception):
+    """A malformed frame (bad length, truncated payload, bad JSON)."""
+
+
+def error_response(status: str, message: str, **details) -> dict:
+    """A structured failure response: one synthetic diagnostic plus
+    machine-readable detail fields (queue depth, retry hints, ...)."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "status": status,
+        "diagnostics": [{
+            "severity": "error",
+            "phase": "server",
+            "message": message,
+            "rendered": f"mayad: [{status}] {message}",
+        }],
+        **details,
+    }
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    faults.check(faults.SITE_SOCKET_WRITE)
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(data)} bytes")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """The next frame, or None on a clean EOF at a frame boundary."""
+    faults.check(faults.SITE_SOCKET_READ)
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds "
+                            f"{MAX_FRAME_BYTES} bytes")
+    data = _recv_exact(sock, length, eof_ok=False)
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"bad frame payload: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                eof_ok: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes received)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,160 @@
+"""The daemon smoke/fault drill CI runs.
+
+    python -m repro.server.smoke --requests 50 [--scenario NAME]
+                                 [--metrics-out FILE]
+
+Starts an in-process daemon on an ephemeral port, fires N concurrent
+client compiles, optionally arms a fault scenario, and then *proves
+the daemon survived*: a final ping plus a clean compile must succeed,
+and every response must be one of the scenario's expected statuses.
+Exit 0 on success, 1 on any unexpected outcome — and the metrics
+snapshot is written either way, so a failing drill still uploads the
+evidence.
+
+Scenarios (``--scenario``):
+
+* ``none``          — plain load: every request must succeed;
+* ``cache-corrupt`` — the on-disk table cache serves one corrupt
+  entry; compiles must succeed anyway (quarantine + regenerate);
+* ``worker-hang``   — one worker hangs; that request must come back
+  ``deadline-exceeded`` and the pool must backfill;
+* ``worker-crash``  — one worker crashes; the request must be
+  re-run in degraded mode and *succeed*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import sys
+import tempfile
+import time
+
+from repro import faults
+from repro.lalr.tables import enable_disk_cache
+from repro.obs import export as obs_export
+from repro.obs.metrics import REGISTRY
+from repro.server.client import MayaClient
+from repro.server.daemon import DaemonConfig, MayaDaemon
+from repro.server.protocol import STATUS_DEADLINE, STATUS_OK
+
+SOURCE_TEMPLATE = """
+    import java.util.*;
+    class Demo%d {
+        static void main() {
+            use maya.util.ForEach;
+            Vector v = new Vector();
+            v.addElement("smoke-%d");
+            v.elements().foreach(String s) { System.out.println(s); }
+        }
+    }
+"""
+
+#: scenario -> (fault spec, statuses allowed beyond plain success,
+#: per-request deadline in seconds).  The crash scenario's deadline
+#: leaves room for the degraded re-run, which rebuilds LALR tables
+#: from scratch (shared caches are deliberately bypassed).
+SCENARIOS = {
+    "none": ("", set(), 2.0),
+    "cache-corrupt": ("cache.disk.load:corrupt:times=1", set(), 2.0),
+    "worker-hang": ("worker.execute:hang:secs=5:times=1",
+                    {STATUS_DEADLINE}, 2.0),
+    "worker-crash": ("worker.execute:crash:times=1", set(), 15.0),
+}
+
+
+def run_drill(requests: int, scenario: str, workers: int = 4,
+              metrics_out: str = None) -> int:
+    spec, allowed, deadline_s = SCENARIOS[scenario]
+    allowed = {STATUS_OK} | allowed
+    faults.configure(spec)
+    # cache-corrupt needs a disk cache to corrupt.
+    cache_dir = tempfile.mkdtemp(prefix="mayad-smoke-")
+    enable_disk_cache(cache_dir)
+
+    daemon = MayaDaemon(DaemonConfig(
+        workers=workers, queue_size=max(16, requests),
+        default_deadline_s=deadline_s)).start()
+    if scenario == "cache-corrupt":
+        # Prewarm just wrote good table entries to disk; flushing the
+        # in-memory LRU forces the drill through the on-disk loader,
+        # where the armed corruption waits.
+        from repro.lalr.tables import table_cache_clear
+
+        table_cache_clear()
+    failures = []
+    statuses = {}
+    try:
+        client = MayaClient(daemon.address, retries=6)
+        started = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(16, requests)) as pool:
+            futures = [
+                pool.submit(client.compile,
+                            SOURCE_TEMPLATE % (i, i),
+                            filename=f"smoke{i}.maya", expand=True,
+                            cache=False,
+                            deadline_ms=int(deadline_s * 1000))
+                for i in range(requests)
+            ]
+            for i, future in enumerate(futures):
+                response = future.result(timeout=60)
+                status = str(response.get("status"))
+                statuses[status] = statuses.get(status, 0) + 1
+                if status not in allowed:
+                    failures.append(f"request {i}: unexpected {status}: "
+                                    f"{response}")
+        elapsed = time.perf_counter() - started
+
+        # The daemon must still be serving, whatever was injected.
+        ping = client.ping()
+        if ping.get("status") != STATUS_OK:
+            failures.append(f"post-drill ping failed: {ping}")
+        check = client.compile("class Survivor { }",
+                               filename="survivor.maya", cache=False)
+        if check.get("status") != STATUS_OK:
+            failures.append(f"post-drill compile failed: {check}")
+
+        print(f"smoke[{scenario}]: {requests} requests in "
+              f"{elapsed:.2f}s ({requests / elapsed:.1f}/s), "
+              f"statuses={statuses}, workers={ping.get('workers')}")
+        if scenario == "worker-hang" \
+                and statuses.get(STATUS_DEADLINE, 0) < 1:
+            failures.append("worker-hang drill never hit a deadline")
+        if faults.active_plan() and spec \
+                and faults.active_plan().fired(spec.split(":")[0]) < 1:
+            failures.append(f"fault {spec!r} never fired")
+    finally:
+        try:
+            daemon.stop()
+        finally:
+            if metrics_out:
+                with open(metrics_out, "w", encoding="utf-8") as out:
+                    json.dump(obs_export.to_json(REGISTRY), out, indent=2)
+                    out.write("\n")
+            faults.reset()
+
+    for failure in failures:
+        print(f"smoke[{scenario}]: FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"smoke[{scenario}]: OK")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.server.smoke",
+        description="Concurrent-load + fault-injection drill for mayad.")
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default="none")
+    parser.add_argument("--metrics-out", metavar="FILE")
+    args = parser.parse_args(argv)
+    return run_drill(args.requests, args.scenario, args.workers,
+                     args.metrics_out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

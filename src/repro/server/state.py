@@ -1,0 +1,165 @@
+"""Shared read-only state: epoch/snapshot handoff for a worker pool.
+
+The daemon's whole value is sharing expensive derived state — LALR
+tables, grammar fingerprints, compiled-artifact payloads — across
+requests, but shared *mutable* state is exactly what a robust service
+cannot afford: a reader observing a half-updated cache is a poisoned
+request.  The rule here is the classic read-copy-update discipline:
+
+* readers pin **one immutable snapshot** per request
+  (:meth:`EpochCache.snapshot`) and never see later writes;
+* writers build a *new* mapping off to the side and publish it with a
+  single reference swap, bumping the epoch counter — publication is
+  atomic, so there is no observable intermediate state;
+* entries are immutable by convention (publish-once): a key is never
+  overwritten with different data, only added or evicted.
+
+The artifact cache is content-addressed (SHA-256 over source text and
+every option that affects output), so a stale hit is *impossible* —
+matching the cache key proves the cached response is the right answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from types import MappingProxyType
+from typing import Mapping, Optional
+
+from repro.obs.metrics import REGISTRY
+
+ARTIFACT_EVENTS = REGISTRY.counter(
+    "maya_server_artifact_cache_events_total",
+    "Content-addressed compiled-artifact cache events.",
+    labelnames=("event",),
+)
+EPOCH_GAUGE = REGISTRY.gauge(
+    "maya_server_cache_epoch",
+    "Current epoch of a shared daemon cache.",
+    labelnames=("cache",),
+)
+
+
+class EpochCache:
+    """A shared mapping published as immutable epoch-stamped snapshots."""
+
+    def __init__(self, name: str, max_entries: int = 256):
+        self.name = name
+        self.max_entries = max_entries
+        self._lock = threading.Lock()       # writers only
+        self._epoch = 0
+        self._snapshot: Mapping = MappingProxyType({})
+        self._gauge = EPOCH_GAUGE.labels(cache=name)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def snapshot(self) -> Mapping:
+        """The current immutable snapshot (pin once per request)."""
+        return self._snapshot
+
+    def get(self, key):
+        return self._snapshot.get(key)
+
+    def publish(self, key, value) -> None:
+        """Add ``key`` via copy-on-write swap; oldest entries are
+        evicted FIFO past ``max_entries``.  Publish-once: a key that is
+        already present keeps its original value (first writer wins, so
+        two workers racing on the same key cannot flap the cache)."""
+        with self._lock:
+            current = self._snapshot
+            if key in current:
+                return
+            fresh = dict(current)
+            fresh[key] = value
+            while len(fresh) > self.max_entries:
+                fresh.pop(next(iter(fresh)))
+            self._epoch += 1
+            self._gauge.set(self._epoch)
+            # The swap is the handoff: readers hold either the old or
+            # the new mapping, never a mixture.
+            self._snapshot = MappingProxyType(fresh)
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+
+def artifact_key(source: str, filename: str, options: dict) -> str:
+    """Content address of one compile: source text plus every option
+    that can change the produced artifact or its diagnostics."""
+    relevant = {
+        key: options.get(key)
+        for key in ("use", "multijava", "no_macros", "fuel", "max_errors",
+                    "expand", "provenance")
+    }
+    digest = hashlib.sha256()
+    digest.update(source.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(filename.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(json.dumps(relevant, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """The content-addressed response cache, over :class:`EpochCache`."""
+
+    def __init__(self, max_entries: int = 256):
+        self._cache = EpochCache("artifacts", max_entries=max_entries)
+        self._hits = ARTIFACT_EVENTS.labels(event="hit")
+        self._misses = ARTIFACT_EVENTS.labels(event="miss")
+
+    @property
+    def epoch(self) -> int:
+        return self._cache.epoch
+
+    def lookup(self, key: str) -> Optional[dict]:
+        cached = self._cache.get(key)
+        if cached is None:
+            self._misses.inc()
+            return None
+        self._hits.inc()
+        # Serve a copy: responses are annotated per-request (timings,
+        # request ids) and must not mutate the shared entry.
+        response = dict(cached)
+        response["cached"] = True
+        return response
+
+    def store(self, key: str, response: dict) -> None:
+        entry = {k: v for k, v in response.items()
+                 if k not in ("cached", "stats")}
+        self._cache.publish(key, entry)
+
+
+#: What prewarm compiles: grammar extension is *content*-fingerprinted,
+#: so exercising each ``use`` scope here populates the table cache for
+#: every later request that imports the same metaprograms — whatever
+#: its source text.
+_PREWARM_SOURCE = """
+    import java.util.*;
+    class Prewarm {
+        static void main() {
+            use maya.util.ForEach;
+            Vector v = new Vector();
+            v.elements().foreach(String s) { System.out.println(s); }
+        }
+    }
+"""
+
+
+def prewarm() -> float:
+    """Populate the process-wide caches a fresh session needs (base
+    grammar singleton, macro-library tables, the ``use``-extended
+    tables of the bundled macros) so the first real request is as fast
+    as the thousandth.  Returns the time spent."""
+    from repro import MayaCompiler
+    from repro.macros import install_macro_library
+
+    started = time.perf_counter()
+    compiler = MayaCompiler()
+    install_macro_library(compiler)
+    compiler.compile(_PREWARM_SOURCE, "<prewarm>")
+    return time.perf_counter() - started

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mayac import main
+from repro.mayac import cli, main
 
 
 @pytest.fixture
@@ -125,3 +125,94 @@ class TestCli:
         """)
         assert main([str(source), "--multijava", "--run", "Demo"]) == 0
         assert "d" in capsys.readouterr().out
+
+
+class TestUnixExitConventions:
+    """``cli`` is ``main`` plus signal/pipe hygiene: Ctrl-C exits 130
+    and a vanished reader exits 0 — never with a Python traceback."""
+
+    def test_sigint_exits_130(self, demo_file, capsys, monkeypatch):
+        from repro.core.compiler import MayaCompiler
+
+        def interrupted(self, source, filename="<string>"):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(MayaCompiler, "compile", interrupted)
+        assert cli([demo_file]) == 130
+        err = capsys.readouterr().err
+        assert "mayac: interrupted" in err
+        assert "Traceback" not in err
+
+    def test_broken_pipe_exits_0(self, demo_file, capsys, monkeypatch):
+        import sys
+
+        class ClosedPipe:
+            def write(self, text):
+                raise BrokenPipeError
+
+            def flush(self):
+                raise BrokenPipeError
+
+        monkeypatch.setattr(sys, "stdout", ClosedPipe())
+        assert cli([demo_file, "--expand"]) == 0
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_normal_exit_codes_pass_through(self, demo_file, tmp_path,
+                                            capsys):
+        assert cli([demo_file]) == 0
+        bad = tmp_path / "bad.maya"
+        bad.write_text('class Broken { int f() { return "no"; } }')
+        assert cli([str(bad)]) == 1
+        capsys.readouterr()
+
+
+class TestDaemonFrontEnd:
+    """``mayac --daemon ADDR`` delegates to a running mayad."""
+
+    @pytest.fixture
+    def daemon(self):
+        from repro.server import DaemonConfig, MayaDaemon
+
+        server = MayaDaemon(DaemonConfig(workers=1,
+                                         prewarm=False)).start()
+        yield server
+        server.stop()
+
+    def test_expand_via_daemon(self, daemon, demo_file, capsys):
+        assert main(["--daemon", daemon.address, demo_file,
+                     "--expand"]) == 0
+        assert "hasMoreElements" in capsys.readouterr().out
+
+    def test_compile_error_via_daemon(self, daemon, tmp_path, capsys):
+        bad = tmp_path / "bad.maya"
+        bad.write_text('class Broken { int f() { return "no"; } }')
+        assert main(["--daemon", daemon.address, str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "mayac: 1 error" in err
+
+    def test_run_is_rejected_with_daemon(self, daemon, demo_file,
+                                         capsys):
+        assert main(["--daemon", daemon.address, demo_file,
+                     "--run", "Demo"]) == 2
+        assert "--run" in capsys.readouterr().err
+
+    def test_unreachable_daemon_exits_3(self, demo_file, capsys,
+                                        monkeypatch):
+        import socket
+
+        from repro.server.client import MayaClient
+
+        victim = socket.socket()
+        victim.bind(("127.0.0.1", 0))
+        port = victim.getsockname()[1]
+        victim.close()
+        original = MayaClient.__init__
+
+        def quick(self, address, **kwargs):
+            kwargs.update(retries=1, backoff_s=0.001)
+            original(self, address, **kwargs)
+
+        monkeypatch.setattr(MayaClient, "__init__", quick)
+        assert main(["--daemon", f"127.0.0.1:{port}", demo_file]) == 3
+        assert "mayac:" in capsys.readouterr().err

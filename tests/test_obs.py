@@ -45,6 +45,78 @@ def check_golden(name: str, text: str, request) -> None:
 # ---------------------------------------------------------------------------
 
 
+class TestThreadSafety:
+    """The daemon's worker pool hammers shared families concurrently;
+    increments and observations must never be lost or torn."""
+
+    THREADS = 8
+    ROUNDS = 2001  # divisible by 3: the histogram total is exact
+
+    def _hammer(self, work):
+        import threading
+
+        errors = []
+
+        def run(index):
+            try:
+                work(index)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_mt_total", "Hammered.", ("kind",))
+
+        def work(index):
+            # Every thread alternates between a shared child and its
+            # own, so both child creation and value bumps race.
+            own = family.labels(f"thread{index}")
+            shared = family.labels("shared")
+            for _ in range(self.ROUNDS):
+                own.inc()
+                shared.inc()
+
+        self._hammer(work)
+        assert family.labels("shared").value == \
+            self.THREADS * self.ROUNDS
+        for index in range(self.THREADS):
+            assert family.labels(f"thread{index}").value == self.ROUNDS
+
+    def test_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("t_mt_ms", "Hammered.",
+                                    bounds=(1, 10, 100))
+
+        def work(index):
+            for round_number in range(self.ROUNDS):
+                family.observe((round_number % 3) * 50)
+
+        self._hammer(work)
+        child = family.labels()
+        assert child.count == self.THREADS * self.ROUNDS
+        assert child.total == self.THREADS * self.ROUNDS // 3 * 150
+        assert sum(child.buckets) == child.count
+
+    def test_racing_registration_yields_one_family(self):
+        registry = MetricsRegistry()
+        families = [None] * self.THREADS
+
+        def work(index):
+            families[index] = registry.counter("t_mt_race_total",
+                                               "Raced.")
+
+        self._hammer(work)
+        assert len({id(f) for f in families}) == 1
+
+
 class TestRegistry:
     def test_counter_accumulates_per_label_child(self):
         registry = MetricsRegistry()

@@ -245,6 +245,63 @@ class TestDiskCache:
             disable_disk_cache()
             table_cache_clear()
 
+    def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path):
+        """Crash-safe hygiene: garbage bytes are moved to a
+        ``.quarantine`` file (for postmortems, and so the next load
+        doesn't re-parse them), counted, and regenerated in place."""
+        from repro.obs.metrics import REGISTRY
+
+        corrupt_total = REGISTRY.get("maya_table_cache_corrupt_total")
+        enable_disk_cache(str(tmp_path))
+        try:
+            table_cache_clear()
+            CompileEnv().tables()
+            (entry,) = tmp_path.glob("tables-*.pickle")
+            entry.write_bytes(b"\x00\xffgarbage bytes, not a pickle")
+            before = corrupt_total.value
+
+            table_cache_clear()
+            assert tables_for(CompileEnv().grammar).action
+            assert corrupt_total.value == before + 1
+            # The bad bytes were set aside, and regeneration re-wrote a
+            # good entry at the original path.
+            quarantined = entry.with_suffix(".pickle.quarantine")
+            assert quarantined.read_bytes().startswith(b"\x00\xff")
+            assert pickle.loads(entry.read_bytes())["format"] >= 1
+
+            # A quarantined entry is never trusted again: the next load
+            # round-trips the regenerated file cleanly.
+            table_cache_clear()
+            assert tables_for(CompileEnv().grammar).action
+            assert corrupt_total.value == before + 1
+        finally:
+            disable_disk_cache()
+            table_cache_clear()
+
+    def test_stale_format_is_a_miss_not_corruption(self, tmp_path):
+        """A well-formed entry from an older snapshot format is just a
+        miss: no quarantine, no corruption count."""
+        from repro.obs.metrics import REGISTRY
+
+        corrupt_total = REGISTRY.get("maya_table_cache_corrupt_total")
+        enable_disk_cache(str(tmp_path))
+        try:
+            table_cache_clear()
+            CompileEnv().tables()
+            (entry,) = tmp_path.glob("tables-*.pickle")
+            payload = pickle.loads(entry.read_bytes())
+            payload["format"] = 0
+            entry.write_bytes(pickle.dumps(payload))
+            before = corrupt_total.value
+
+            table_cache_clear()
+            assert tables_for(CompileEnv().grammar).action
+            assert corrupt_total.value == before
+            assert not list(tmp_path.glob("*.quarantine"))
+        finally:
+            disable_disk_cache()
+            table_cache_clear()
+
     def test_key_mismatch_is_a_miss(self, tmp_path):
         """An entry whose recorded key differs from the requesting
         grammar's fingerprint is ignored, not trusted."""

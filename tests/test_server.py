@@ -1,0 +1,412 @@
+"""The mayad compile service: protocol, isolation, admission control,
+deadlines, the artifact cache, and the client's retry discipline."""
+
+import json
+import random
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.core.env import CompileEnv
+from repro.diag import DeadlineExceededError
+from repro.server import DaemonConfig, MayaClient, MayaDaemon, parse_address
+from repro.server import protocol
+from repro.server.client import DaemonError
+from repro.server.daemon import REQUESTS, SHED
+from repro.server.state import EpochCache, artifact_key
+
+FOREACH_TEMPLATE = """
+    import java.util.*;
+    class Demo%s {
+        static void main() {
+            use maya.util.ForEach;
+            Vector v = new Vector();
+            v.addElement("srv");
+            v.elements().foreach(String s) { System.out.println(s); }
+        }
+    }
+"""
+
+
+@pytest.fixture
+def daemon():
+    server = MayaDaemon(DaemonConfig(workers=2, queue_size=8,
+                                     prewarm=False)).start()
+    yield server
+    server.stop()
+    faults.reset()
+
+
+@pytest.fixture
+def client(daemon):
+    return MayaClient(daemon.address, retries=2,
+                      rng=random.Random(7))
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            protocol.send_frame(left, {"op": "ping", "text": "s\nd"})
+            assert protocol.recv_frame(right) == {"op": "ping",
+                                                  "text": "s\nd"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert protocol.recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_truncated_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!I", 100) + b"short")
+            left.close()
+            with pytest.raises(protocol.ProtocolError,
+                               match="mid-frame"):
+                protocol.recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(protocol.ProtocolError, match="exceeds"):
+                protocol.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_bad_json_raises(self):
+        left, right = socket.socketpair()
+        try:
+            payload = b"not json"
+            left.sendall(struct.pack("!I", len(payload)) + payload)
+            with pytest.raises(protocol.ProtocolError, match="payload"):
+                protocol.recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7463") == ("127.0.0.1", 7463)
+        assert parse_address(":9") == ("127.0.0.1", 9)
+        assert parse_address("/tmp/mayad.sock") == "/tmp/mayad.sock"
+        with pytest.raises(ValueError):
+            parse_address("host:notaport")
+
+
+class TestCompileService:
+    def test_compile_and_expand(self, client):
+        response = client.compile(FOREACH_TEMPLATE % "A", "a.maya",
+                                  expand=True)
+        assert response["status"] == "ok"
+        assert "hasMoreElements" in response["expanded"]
+        assert response["classes"] == ["DemoA"]
+        assert response["stats"]["total_ms"] > 0
+
+    def test_compile_error_diagnostics_are_structured(self, client):
+        response = client.compile(
+            'class Bad { int f() { return "no"; } }', "bad.maya")
+        assert response["status"] == "compile-error"
+        [diag] = response["diagnostics"]
+        assert diag["severity"] == "error"
+        assert diag["phase"] in ("parse", "check", "expand")
+        assert "bad.maya" in diag["rendered"]
+        assert "^" in diag["rendered"]  # caret rendering survives the wire
+
+    def test_sessions_are_isolated(self, client):
+        # Session 1 defines a class and extends its grammar via `use`;
+        # neither may leak into session 2's environment.
+        first = client.compile(FOREACH_TEMPLATE % "Iso", "iso.maya")
+        assert first["status"] == "ok"
+        leaked_type = client.compile(
+            "class Other { DemoIso d; }", "other.maya")
+        assert leaked_type["status"] == "compile-error"
+        leaked_grammar = client.compile("""
+            import java.util.*;
+            class NoUse {
+                static void main() {
+                    Vector v = new Vector();
+                    v.elements().foreach(String s) { }
+                }
+            }
+        """, "nouse.maya")
+        assert leaked_grammar["status"] == "compile-error"
+
+    def test_artifact_cache_hit(self, client):
+        source = FOREACH_TEMPLATE % "Cache"
+        first = client.compile(source, "c.maya", expand=True)
+        assert first["status"] == "ok" and "cached" not in first
+        second = client.compile(source, "c.maya", expand=True)
+        assert second["status"] == "ok"
+        assert second["cached"] is True
+        assert second["expanded"] == first["expanded"]
+
+    def test_artifact_cache_respects_options(self, client):
+        source = FOREACH_TEMPLATE % "Opt"
+        with_expand = client.compile(source, "o.maya", expand=True)
+        without = client.compile(source, "o.maya")
+        assert with_expand["status"] == "ok"
+        assert without["status"] == "ok"
+        assert "cached" not in without  # different options, different key
+
+    def test_concurrent_compiles(self, client):
+        results = [None] * 12
+        def go(i):
+            results[i] = client.compile(FOREACH_TEMPLATE % f"C{i}",
+                                        f"c{i}.maya", cache=False)
+        threads = [threading.Thread(target=go, args=(i,))
+                   for i in range(len(results))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert all(r is not None and r["status"] == "ok"
+                   for r in results)
+
+    def test_ping_and_metrics(self, client):
+        ping = client.ping()
+        assert ping["status"] == "ok"
+        assert ping["workers"] == 2
+        metrics = client.metrics()
+        names = {f["name"] for f in metrics["families"]}
+        assert "maya_server_requests_total" in names
+        assert "maya_server_request_ms" in names
+
+    def test_bad_requests_are_answered(self, client):
+        assert client.request("frobnicate")["status"] == "bad-request"
+        assert client.request("compile")["status"] == "bad-request"
+        response = client.request("compile", source="class A { }",
+                                  options=["not", "a", "dict"])
+        assert response["status"] == "bad-request"
+
+    def test_unix_socket(self, tmp_path):
+        path = str(tmp_path / "mayad.sock")
+        server = MayaDaemon(DaemonConfig(socket_path=path,
+                                         prewarm=False)).start()
+        try:
+            response = MayaClient(path).compile("class U { }", "u.maya")
+            assert response["status"] == "ok"
+        finally:
+            server.stop()
+
+    def test_malformed_frame_keeps_daemon_serving(self, daemon, client):
+        raw = socket.create_connection(
+            parse_address(daemon.address), timeout=5)
+        try:
+            raw.sendall(b"\xff\xff\xff\xff garbage")
+            # The daemon answers bad-request (or just drops us) and must
+            # keep serving other clients.
+            raw.settimeout(2)
+            try:
+                raw.recv(1 << 16)
+            except OSError:
+                pass
+        finally:
+            raw.close()
+        assert client.ping()["status"] == "ok"
+
+    def test_client_disconnect_mid_request_tolerated(self, daemon,
+                                                     client):
+        raw = socket.create_connection(
+            parse_address(daemon.address), timeout=5)
+        payload = json.dumps({
+            "op": "compile", "source": FOREACH_TEMPLATE % "Gone",
+            "filename": "gone.maya", "options": {"cache": False},
+        }).encode()
+        raw.sendall(struct.pack("!I", len(payload)) + payload)
+        raw.close()  # vanish before the answer
+        time.sleep(0.2)
+        assert client.ping()["status"] == "ok"
+        assert client.compile("class Still { }",
+                              "still.maya")["status"] == "ok"
+
+
+class TestAdmissionControl:
+    def test_load_shedding_is_fast_and_structured(self):
+        faults.configure("worker.execute:hang:secs=1.5:times=1")
+        server = MayaDaemon(DaemonConfig(workers=1, queue_size=1,
+                                         prewarm=False)).start()
+        try:
+            client = MayaClient(server.address, retries=0)
+            shed_before = SHED.value
+            slow = threading.Thread(
+                target=client.compile,
+                args=("class Slow { }", "slow.maya"),
+                kwargs={"cache": False, "deadline_ms": 4000})
+            slow.start()
+            time.sleep(0.3)  # the hang occupies the only worker
+            queued = threading.Thread(
+                target=client.compile,
+                args=("class Queued { }", "queued.maya"),
+                kwargs={"cache": False, "deadline_ms": 4000})
+            queued.start()
+            time.sleep(0.1)
+            started = time.perf_counter()
+            response = client.compile("class Shed { }", "shed.maya",
+                                      cache=False)
+            elapsed = time.perf_counter() - started
+            assert response["status"] == "overloaded"
+            assert response["retry_after_ms"] > 0
+            assert response["diagnostics"][0]["phase"] == "server"
+            assert elapsed < 0.5  # shed immediately, not queued
+            assert SHED.value == shed_before + 1
+            slow.join(10)
+            queued.join(10)
+        finally:
+            server.stop()
+            faults.reset()
+
+    def test_shutting_down_refuses_new_compiles(self, daemon):
+        client = MayaClient(daemon.address, retries=0)
+        daemon._running = False
+        try:
+            response = client.request("compile", source="class L { }")
+            assert response["status"] == "shutting-down"
+        finally:
+            daemon._running = True
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_response_and_recovery(self):
+        faults.configure("worker.execute:hang:secs=2:times=1")
+        server = MayaDaemon(DaemonConfig(workers=1,
+                                         prewarm=False)).start()
+        try:
+            client = MayaClient(server.address, retries=0)
+            response = client.compile("class Hang { }", "h.maya",
+                                      cache=False, deadline_ms=300)
+            assert response["status"] == "deadline-exceeded"
+            assert response["deadline_ms"] == pytest.approx(300.0)
+            # The hung worker was replaced: the daemon still serves.
+            follow_up = client.compile("class After { }", "a.maya",
+                                       cache=False)
+            assert follow_up["status"] == "ok"
+        finally:
+            server.stop()
+            faults.reset()
+
+    def test_engine_deadline_composes_with_compile(self):
+        env = CompileEnv.fresh_session(deadline=time.monotonic() - 1)
+        from repro import MayaCompiler
+
+        with pytest.raises(DeadlineExceededError):
+            MayaCompiler(env).compile(
+                "class Slow { void f() { } }", "slow.maya")
+
+    def test_fresh_session_budgets(self):
+        env = CompileEnv.fresh_session(fuel=7, max_errors=3)
+        assert env.diag.max_expansion_depth == 7
+        assert env.diag.max_errors == 3
+        assert env.diag.deadline is None
+
+
+class TestClientRetry:
+    def test_retries_overloaded_then_succeeds(self, monkeypatch):
+        client = MayaClient("127.0.0.1:1", retries=4, backoff_s=0.001,
+                            rng=random.Random(42))
+        responses = [
+            protocol.error_response(protocol.STATUS_OVERLOADED, "full",
+                                    retry_after_ms=1),
+            protocol.error_response(protocol.STATUS_OVERLOADED, "full",
+                                    retry_after_ms=1),
+            {"status": "ok"},
+        ]
+        calls = []
+        monkeypatch.setattr(client, "_once",
+                            lambda payload: calls.append(1) or
+                            responses[len(calls) - 1])
+        assert client.request("compile")["status"] == "ok"
+        assert len(calls) == 3
+
+    def test_gives_up_after_retry_budget(self, monkeypatch):
+        client = MayaClient("127.0.0.1:1", retries=1, backoff_s=0.001,
+                            rng=random.Random(42))
+        monkeypatch.setattr(
+            client, "_once",
+            lambda payload: protocol.error_response(
+                protocol.STATUS_OVERLOADED, "full"))
+        response = client.request("compile")
+        assert response["status"] == "overloaded"
+
+    def test_connection_refused_raises_after_retries(self):
+        # A port nothing listens on: every attempt fails fast.
+        victim = socket.socket()
+        victim.bind(("127.0.0.1", 0))
+        port = victim.getsockname()[1]
+        victim.close()
+        client = MayaClient(f"127.0.0.1:{port}", retries=1,
+                            backoff_s=0.001, rng=random.Random(42))
+        with pytest.raises(DaemonError, match="unreachable after 2"):
+            client.ping()
+
+    def test_backoff_is_jittered_and_bounded(self):
+        client = MayaClient("127.0.0.1:1", backoff_s=0.05,
+                            backoff_cap_s=0.4, rng=random.Random(0))
+        delays = [client._backoff(attempt, None)
+                  for attempt in range(8)]
+        assert all(0 < d <= 0.4 for d in delays)
+        assert len(set(delays)) == len(delays)  # jitter varies
+        hinted = client._backoff(0, {"retry_after_ms": 200})
+        assert hinted >= 0.2
+
+
+class TestEpochCache:
+    def test_snapshot_isolation(self):
+        cache = EpochCache("test-snap")
+        snap = cache.snapshot()
+        cache.publish("k", 1)
+        assert "k" not in snap          # pinned snapshot never mutates
+        assert cache.get("k") == 1
+        assert cache.epoch == 1
+
+    def test_publish_once(self):
+        cache = EpochCache("test-once")
+        cache.publish("k", 1)
+        cache.publish("k", 2)           # first writer wins
+        assert cache.get("k") == 1
+        assert cache.epoch == 1
+
+    def test_bounded_fifo_eviction(self):
+        cache = EpochCache("test-bound", max_entries=2)
+        cache.publish("a", 1)
+        cache.publish("b", 2)
+        cache.publish("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_concurrent_publishes_never_lose_entries(self):
+        cache = EpochCache("test-race", max_entries=1000)
+        def publish(base):
+            for i in range(50):
+                cache.publish((base, i), i)
+        threads = [threading.Thread(target=publish, args=(b,))
+                   for b in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == 400
+
+    def test_artifact_key_sensitivity(self):
+        base = artifact_key("class A { }", "a.maya", {})
+        assert artifact_key("class A { }", "a.maya", {}) == base
+        assert artifact_key("class B { }", "a.maya", {}) != base
+        assert artifact_key("class A { }", "b.maya", {}) != base
+        assert artifact_key("class A { }", "a.maya",
+                            {"expand": True}) != base
+        # Options that don't affect output don't fragment the cache.
+        assert artifact_key("class A { }", "a.maya",
+                            {"deadline_ms": 5}) == base

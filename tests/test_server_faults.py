@@ -1,0 +1,285 @@
+"""The fault-injection harness and the daemon's containment of every
+injected failure: no fault may terminate mayad or wedge its queue."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.lalr import tables as lalr_tables
+from repro.server import DaemonConfig, MayaClient, MayaDaemon
+from repro.server import protocol
+from repro.server.client import DaemonError
+from repro.server.daemon import CRASHES, REPLACED
+
+SOURCE = "class Victim { static void main() { } }"
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_inert(self):
+        plan = faults.FaultPlan("")
+        assert not plan.arms
+        faults.check(faults.SITE_WORKER_EXECUTE)  # no-op
+
+    def test_parse_full_spec(self):
+        plan = faults.FaultPlan(
+            "worker.execute:crash:times=2,cache.disk.load:corrupt,"
+            "socket.read:hang:secs=0.1:after=3")
+        assert len(plan.arms) == 3
+        crash, corrupt, hang = plan.arms
+        assert (crash.site, crash.mode, crash.times) == \
+            ("worker.execute", "crash", 2)
+        assert (corrupt.site, corrupt.mode) == ("cache.disk.load",
+                                                "corrupt")
+        assert corrupt.times is None  # unlimited
+        assert (hang.secs, hang.after) == (0.1, 3)
+
+    def test_bad_specs_are_rejected_loudly(self):
+        for spec in ("worker.execute", "worker.execute:explode",
+                     "worker.execute:crash:times=x",
+                     "worker.execute:crash:bogus=1"):
+            with pytest.raises(faults.FaultSpecError):
+                faults.FaultPlan(spec)
+
+    def test_times_counts_down(self):
+        faults.configure("worker.execute:raise:times=2")
+        for _ in range(2):
+            with pytest.raises(faults.InjectedFault):
+                faults.check(faults.SITE_WORKER_EXECUTE)
+        faults.check(faults.SITE_WORKER_EXECUTE)  # armed out
+        assert faults.active_plan().fired(faults.SITE_WORKER_EXECUTE) == 2
+
+    def test_after_skips_first_hits(self):
+        faults.configure("worker.execute:raise:after=2:times=1")
+        faults.check(faults.SITE_WORKER_EXECUTE)
+        faults.check(faults.SITE_WORKER_EXECUTE)
+        with pytest.raises(faults.InjectedFault):
+            faults.check(faults.SITE_WORKER_EXECUTE)
+        faults.check(faults.SITE_WORKER_EXECUTE)
+
+    def test_corrupting_only_fires_corrupt_arms(self):
+        faults.configure("cache.disk.load:corrupt:times=1")
+        faults.check(faults.SITE_CACHE_LOAD)  # raise-style check: no-op
+        assert faults.corrupting(faults.SITE_CACHE_LOAD)
+        assert not faults.corrupting(faults.SITE_CACHE_LOAD)
+
+    def test_crash_is_not_an_exception(self):
+        # Generic `except Exception` recovery must never absorb it.
+        assert not issubclass(faults.WorkerCrash, Exception)
+        faults.configure("worker.execute:crash:times=1")
+        with pytest.raises(faults.WorkerCrash):
+            faults.check(faults.SITE_WORKER_EXECUTE)
+
+    def test_environment_seeding(self, monkeypatch):
+        monkeypatch.setenv("MAYA_FAULTS", "socket.read:raise:times=1")
+        plan = faults.FaultPlan.from_environment()
+        assert plan.arms[0].site == "socket.read"
+
+
+def _daemon(**overrides):
+    config = dict(workers=2, queue_size=8, prewarm=False)
+    config.update(overrides)
+    return MayaDaemon(DaemonConfig(**config)).start()
+
+
+class TestCrashContainment:
+    def test_single_crash_is_contained_by_degraded_rerun(self):
+        faults.configure("worker.execute:crash:times=1")
+        server = _daemon()
+        try:
+            client = MayaClient(server.address, retries=0)
+            contained = CRASHES.labels(outcome="contained").value
+            replaced = REPLACED.value
+            response = client.compile(SOURCE, "v.maya", cache=False)
+            # The crash killed a worker; the request was quarantined and
+            # re-run in degraded single-shot mode — and succeeded.
+            assert response["status"] == "ok"
+            assert response["degraded"] is True
+            assert CRASHES.labels(outcome="contained").value \
+                == contained + 1
+            assert REPLACED.value == replaced + 1
+            # The pool is whole again and fully functional.
+            assert client.ping()["workers"] == 2
+            assert client.compile(SOURCE, "v2.maya",
+                                  cache=False)["status"] == "ok"
+        finally:
+            server.stop()
+
+    def test_persistent_crash_reports_worker_crashed(self):
+        faults.configure("worker.execute:crash")  # every execution
+        server = _daemon()
+        try:
+            client = MayaClient(server.address, retries=0)
+            failed = CRASHES.labels(outcome="degraded_failed").value
+            response = client.compile(SOURCE, "v.maya", cache=False)
+            assert response["status"] == "worker-crashed"
+            assert "twice" in response["diagnostics"][0]["message"]
+            assert CRASHES.labels(outcome="degraded_failed").value \
+                == failed + 1
+            # The daemon survived both crashes; clear the fault and the
+            # same request compiles fine.
+            faults.reset()
+            assert client.compile(SOURCE, "v.maya",
+                                  cache=False)["status"] == "ok"
+        finally:
+            server.stop()
+
+    def test_crashes_never_cached(self):
+        faults.configure("worker.execute:crash")
+        server = _daemon()
+        try:
+            client = MayaClient(server.address, retries=0)
+            assert client.compile(SOURCE,
+                                  "c.maya")["status"] == "worker-crashed"
+            faults.reset()
+            # The failure was not stored: the retry really compiles.
+            response = client.compile(SOURCE, "c.maya")
+            assert response["status"] == "ok"
+            assert "cached" not in response
+        finally:
+            server.stop()
+
+
+class TestHangContainment:
+    def test_hang_hits_deadline_and_pool_backfills(self):
+        faults.configure("worker.execute:hang:secs=3:times=1")
+        server = _daemon(workers=1)
+        try:
+            client = MayaClient(server.address, retries=0)
+            replaced = REPLACED.value
+            started = time.perf_counter()
+            response = client.compile(SOURCE, "h.maya", cache=False,
+                                      deadline_ms=400)
+            elapsed = time.perf_counter() - started
+            assert response["status"] == "deadline-exceeded"
+            assert elapsed < 2.0  # answered at the deadline, not after 3s
+            assert REPLACED.value == replaced + 1
+            # The hung worker was zombied and replaced: with one
+            # configured worker the service still has capacity.
+            response = client.compile(SOURCE, "h2.maya", cache=False)
+            assert response["status"] == "ok"
+        finally:
+            server.stop()
+
+
+class TestCacheCorruption:
+    def test_corrupt_disk_entry_is_quarantined_and_regenerated(
+            self, tmp_path):
+        corrupt = lalr_tables.REGISTRY.get(
+            "maya_table_cache_corrupt_total")
+        before = corrupt.value
+        with lalr_tables.disk_cache_at(str(tmp_path)):
+            server = _daemon()
+            try:
+                client = MayaClient(server.address, retries=0)
+                # First compile populates the disk cache (the memory
+                # LRU is warm from earlier tests — flush it so the
+                # tables are regenerated and actually written out).
+                lalr_tables.table_cache_clear()
+                assert client.compile(SOURCE, "v0.maya",
+                                      cache=False)["status"] == "ok"
+                # Force the next compile through the disk path, with
+                # the first load returning injected garbage.
+                lalr_tables.table_cache_clear()
+                faults.configure("cache.disk.load:corrupt:times=1")
+                response = client.compile(
+                    SOURCE.replace("Victim", "Victim1"), "v1.maya",
+                    cache=False)
+                assert response["status"] == "ok"
+            finally:
+                server.stop()
+            assert corrupt.value == before + 1
+            quarantined = [name for name in tmp_path.iterdir()
+                           if name.suffix == ".quarantine"]
+            assert len(quarantined) == 1
+
+    def test_daemon_survives_cache_load_failure(self, tmp_path):
+        with lalr_tables.disk_cache_at(str(tmp_path)):
+            server = _daemon()
+            try:
+                client = MayaClient(server.address, retries=0)
+                lalr_tables.table_cache_clear()
+                assert client.compile(SOURCE, "v0.maya",
+                                      cache=False)["status"] == "ok"
+                lalr_tables.table_cache_clear()
+                faults.configure("cache.disk.load:raise")
+                response = client.compile(
+                    SOURCE.replace("Victim", "Victim1"), "v1.maya",
+                    cache=False)
+                assert response["status"] == "ok"
+            finally:
+                server.stop()
+
+
+class TestSocketFaults:
+    def test_read_fault_drops_connection_not_daemon(self):
+        server = _daemon()
+        try:
+            faults.configure("socket.read:raise:times=1")
+            client = MayaClient(server.address, retries=0)
+            # The daemon side hits the read fault; this request dies.
+            # The fault may fire on the daemon's read (the connection
+            # dies without an answer) or the client's own read.
+            with pytest.raises((DaemonError, protocol.ProtocolError,
+                                faults.InjectedFault, OSError)):
+                client.ping()
+            faults.reset()
+            assert client.ping()["status"] == "ok"
+        finally:
+            server.stop()
+            faults.reset()
+
+    def test_write_fault_is_retried_by_client(self):
+        server = _daemon()
+        try:
+            # One injected write failure; the client's retry succeeds.
+            faults.configure("socket.write:disconnect:times=1")
+            client = MayaClient(server.address, retries=3,
+                                backoff_s=0.001)
+            assert client.ping()["status"] == "ok"
+        finally:
+            server.stop()
+            faults.reset()
+
+
+class TestQueueNeverWedges:
+    def test_mixed_fault_storm_leaves_service_healthy(self):
+        """The acceptance drill in miniature: crashes and hangs land
+        concurrently and the daemon still answers afterwards."""
+        faults.configure("worker.execute:crash:times=2,"
+                         "worker.execute:hang:secs=2:after=2:times=1")
+        server = _daemon(workers=3, queue_size=32)
+        try:
+            client = MayaClient(server.address, retries=0)
+            results = [None] * 8
+            def go(i):
+                results[i] = client.compile(
+                    SOURCE.replace("Victim", f"Storm{i}"),
+                    f"s{i}.maya", cache=False, deadline_ms=1500)
+            threads = [threading.Thread(target=go, args=(i,))
+                       for i in range(len(results))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(20)
+            statuses = {r["status"] for r in results if r is not None}
+            assert None not in results          # every request answered
+            assert statuses <= {"ok", "deadline-exceeded",
+                                "worker-crashed"}
+            assert "ok" in statuses
+            # Survivor check: the daemon is alive, the queue drains.
+            faults.reset()
+            assert client.ping()["status"] == "ok"
+            assert client.compile("class Survivor { }", "sv.maya",
+                                  cache=False)["status"] == "ok"
+        finally:
+            server.stop()
