@@ -72,17 +72,21 @@ class CacheStats:
         self._evictions = _CACHE_EVENTS.labels(name, "eviction")
         self._invalidations = _CACHE_EVENTS.labels(name, "invalidation")
 
+    # Mutations go through Counter.inc() (which takes the registry's
+    # value lock): daemon workers hammer these children concurrently,
+    # and a bare ``.value += 1`` would lose counts.
+
     def hit(self) -> None:
-        self._hits.value += 1
+        self._hits.inc()
 
     def miss(self) -> None:
-        self._misses.value += 1
+        self._misses.inc()
 
     def evict(self) -> None:
-        self._evictions.value += 1
+        self._evictions.inc()
 
     def invalidate(self) -> None:
-        self._invalidations.value += 1
+        self._invalidations.inc()
 
     @property
     def hits(self) -> int:
@@ -112,7 +116,7 @@ class CacheStats:
     def reset(self) -> None:
         for child in (self._hits, self._misses, self._evictions,
                       self._invalidations):
-            child.value = 0
+            child._reset()
 
     def snapshot(self) -> Dict[str, object]:
         return {

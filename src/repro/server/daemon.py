@@ -44,7 +44,7 @@ from typing import List, Optional
 
 from repro import faults
 from repro.core.env import CompileEnv
-from repro.diag import CompileFailed, DiagnosticError
+from repro.diag import CompileFailed, DeadlineExceededError, DiagnosticError
 from repro.lalr import tables as lalr_tables
 from repro.obs import export as obs_export
 from repro.obs.metrics import REGISTRY
@@ -215,8 +215,27 @@ class MayaDaemon:
             pass
         with self._pool_lock:
             workers = list(self._workers)
+        # Wake the workers without ever blocking: the admission queue
+        # may be full behind hung workers (exactly the fault-drill
+        # scenario), and a blocking put would wedge graceful stop.
+        # Drain queued requests with a shutting-down answer, then hand
+        # out sentinels best-effort — workers also poll the running
+        # flag, so a lost sentinel only costs one poll interval.
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            if pending is _STOP:
+                continue
+            QUEUE_DEPTH.dec()
+            pending.resolve(error_response(STATUS_SHUTTING_DOWN,
+                                           "daemon is shutting down"))
         for _ in workers:
-            self._queue.put(_STOP)
+            try:
+                self._queue.put_nowait(_STOP)
+            except queue_mod.Full:
+                break
         deadline = time.monotonic() + timeout
         for worker in workers:
             remaining = max(0.0, deadline - time.monotonic())
@@ -378,8 +397,15 @@ class MayaDaemon:
         response = request.response
         elapsed_ms = (time.monotonic() - started) * 1000.0
         REQUEST_MS.observe(elapsed_ms)
+        if response.get("status") == STATUS_DEADLINE:
+            # Cooperative trip inside the grace window (the abandoned
+            # path above counted its own).
+            DEADLINES.inc()
         if key is not None and response.get("status") in (
                 STATUS_OK, STATUS_COMPILE_ERROR):
+            # Deadline responses never reach the artifact cache: the
+            # key excludes deadline_ms, so caching one would serve
+            # 'deadline exceeded' to later, amply-budgeted requests.
             self.artifacts.store(key, response)
         stats = response.setdefault("stats", {})
         stats["total_ms"] = round(elapsed_ms, 3)
@@ -421,7 +447,19 @@ class MayaDaemon:
                 program = compiler.compile(
                     source=payload["source"],
                     filename=payload.get("filename") or "<daemon>")
+        except DeadlineExceededError:
+            # A cooperative deadline trip is a service condition, not a
+            # source error: report STATUS_DEADLINE so clients can tell
+            # a timeout from a bad program (and the handler never
+            # caches it under a deadline-blind artifact key).
+            return self._deadline_response(request)
         except CompileFailed as failure:
+            if any(isinstance(diag.cause, DeadlineExceededError)
+                   for diag in failure.diagnostics):
+                # Per-member recovery absorbed the trip mid-run: the
+                # diagnostics are truncated by timing, so this is a
+                # deadline outcome too.
+                return self._deadline_response(request)
             return self._compile_error(engine, failure.diagnostics)
         except DiagnosticError as failure:
             return self._compile_error(engine, [failure.diagnostic])
@@ -438,6 +476,15 @@ class MayaDaemon:
             response["expanded"] = program.source(
                 provenance=bool(options.get("provenance")))
         return response
+
+    @staticmethod
+    def _deadline_response(request: _Request) -> dict:
+        budget_ms = (request.deadline - request.received) * 1000.0
+        return error_response(
+            STATUS_DEADLINE,
+            f"compile tripped its {budget_ms:.0f}ms deadline mid-run "
+            f"(raise deadline_ms, or simplify the expansion)",
+            deadline_ms=round(budget_ms, 3))
 
     @staticmethod
     def _compile_error(engine, diagnostics) -> dict:
@@ -467,7 +514,15 @@ class MayaDaemon:
 
     def _worker_loop(self, worker: _Worker) -> None:
         while True:
-            request = self._queue.get()
+            try:
+                request = self._queue.get(timeout=0.5)
+            except queue_mod.Empty:
+                # Polling backstop for stop(): its sentinels are
+                # put_nowait, so a full-queue race may lose one.
+                if not self._running:
+                    self._retire(worker)
+                    return
+                continue
             if request is _STOP:
                 self._retire(worker)
                 return

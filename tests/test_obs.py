@@ -105,6 +105,24 @@ class TestThreadSafety:
         assert child.total == self.THREADS * self.ROUNDS // 3 * 150
         assert sum(child.buckets) == child.count
 
+    def test_cache_stats_view_mutations_are_exact(self):
+        # CacheStats is a view over a registry family; its hit()/miss()
+        # must go through the locked Counter.inc(), not bare value
+        # writes, or concurrent daemon workers lose counts.
+        from repro import perf
+
+        stats = perf.cache_stats("t-mt-view")
+        stats.reset()
+
+        def work(index):
+            for _ in range(self.ROUNDS):
+                stats.hit()
+                stats.miss()
+
+        self._hammer(work)
+        assert stats.hits == self.THREADS * self.ROUNDS
+        assert stats.misses == self.THREADS * self.ROUNDS
+
     def test_racing_registration_yields_one_family(self):
         registry = MetricsRegistry()
         families = [None] * self.THREADS

@@ -16,7 +16,7 @@ from repro.diag import DeadlineExceededError
 from repro.server import DaemonConfig, MayaClient, MayaDaemon, parse_address
 from repro.server import protocol
 from repro.server.client import DaemonError
-from repro.server.daemon import REQUESTS, SHED
+from repro.server.daemon import REQUESTS, SHED, _Request
 from repro.server.state import EpochCache, artifact_key
 
 FOREACH_TEMPLATE = """
@@ -268,6 +268,39 @@ class TestAdmissionControl:
             server.stop()
             faults.reset()
 
+    def test_stop_is_not_wedged_by_a_full_queue(self):
+        # Graceful stop must never block putting its sentinels: with
+        # the queue full behind a hung worker (the fault-drill shape),
+        # a blocking put would wedge stop() before its join timeout.
+        faults.configure("worker.execute:hang:secs=30:times=1")
+        server = MayaDaemon(DaemonConfig(workers=1, queue_size=1,
+                                         prewarm=False)).start()
+        results = {}
+
+        def fire(name):
+            client = MayaClient(server.address, retries=0)
+            results[name] = client.compile(
+                "class Wedge { }", f"{name}.maya",
+                cache=False, deadline_ms=2000)
+
+        hung = threading.Thread(target=fire, args=("hung",))
+        hung.start()
+        time.sleep(0.3)  # the hang occupies the only worker
+        queued = threading.Thread(target=fire, args=("queued",))
+        queued.start()
+        time.sleep(0.2)  # ...and this request fills the 1-deep queue
+        try:
+            started = time.perf_counter()
+            server.stop(timeout=1.0)
+            assert time.perf_counter() - started < 3.0
+            queued.join(5)
+            # The drained request got a structured answer, not silence.
+            assert results["queued"]["status"] in ("shutting-down",
+                                                   "deadline-exceeded")
+        finally:
+            faults.reset()
+            hung.join(5)
+
     def test_shutting_down_refuses_new_compiles(self, daemon):
         client = MayaClient(daemon.address, retries=0)
         daemon._running = False
@@ -293,6 +326,45 @@ class TestDeadlines:
             follow_up = client.compile("class After { }", "a.maya",
                                        cache=False)
             assert follow_up["status"] == "ok"
+        finally:
+            server.stop()
+            faults.reset()
+
+    def test_cooperative_trip_reports_deadline_status(self):
+        # A mid-compile deadline trip is a service condition, not a
+        # source error: _execute must answer deadline-exceeded, never
+        # compile-error (mayac would exit as if the program were bad).
+        server = MayaDaemon(DaemonConfig(prewarm=False))
+        request = _Request(
+            {"source": "class P { void f() { } }", "filename": "p.maya",
+             "options": {}},
+            deadline=time.monotonic() - 1.0)
+        response = server._execute(request)
+        assert response["status"] == "deadline-exceeded"
+        assert response["deadline_ms"] is not None
+
+    def test_deadline_trip_does_not_poison_artifact_cache(self):
+        # The artifact key excludes deadline_ms, so a short-deadline
+        # request whose trip resolves inside the handler's grace window
+        # must never be stored: later amply-budgeted requests for the
+        # same source would be served the cached timeout forever.
+        server = MayaDaemon(DaemonConfig(workers=2, prewarm=False)).start()
+        try:
+            client = MayaClient(server.address, retries=0)
+            source = "class Poison { void f() { } }"
+            # Warm the process-wide table caches without touching the
+            # artifact cache, so the doomed compile trips quickly.
+            warm = client.compile(source, "poison.maya", cache=False)
+            assert warm["status"] == "ok"
+            # A 30ms stall pushes the compile past its 1ms deadline but
+            # keeps the trip inside the handler's ~50ms grace window —
+            # exactly the shape that used to store the bad response.
+            faults.configure("worker.execute:hang:secs=0.03:times=1")
+            first = client.compile(source, "poison.maya", deadline_ms=1)
+            assert first["status"] == "deadline-exceeded"
+            second = client.compile(source, "poison.maya",
+                                    deadline_ms=30000)
+            assert second["status"] == "ok"
         finally:
             server.stop()
             faults.reset()
