@@ -1,12 +1,14 @@
-"""E14: the closure-compiled backend vs the seed tree-walker.
+"""E14/E15: the compiled backends vs the seed tree-walker.
 
-Each workload is compiled once and then run under both backends
-(``Interpreter(backend=...)``); walk and closure must produce identical
-results, and the recorded ``*_speedup`` ratios are the paper-style
-payoff of compiling method bodies to Python closures with slot frames
-and inline caches.  The E9 workload reruns the MultiJava dispatcher
-benchmark so the speedup is measured on expanded (generated) code, not
-just hand-written loops.
+Each workload is compiled once and then run under all three backends
+(``Interpreter(backend=...)``); walk, closure, and pycode must produce
+identical results.  The recorded ``*_speedup`` ratios are the
+paper-style payoff of compiling method bodies — to Python closures
+with slot frames and inline caches (E14), and further to generated
+Python source with guarded direct calls and native operators (E15,
+``pycode_*_speedup`` measured against the *closure* backend).  The E9
+workload reruns the MultiJava dispatcher benchmark so the speedups are
+measured on expanded (generated) code, not just hand-written loops.
 """
 
 import time
@@ -120,65 +122,79 @@ def _compare(name, source, multijava=False):
     program = make_compiler(multijava=multijava).compile(source)
     walk_ms, walk_value = _time_backend(program, "walk")
     closure_ms, closure_value = _time_backend(program, "closure")
+    pycode_ms, pycode_value = _time_backend(program, "pycode")
     assert walk_value == closure_value, (
         f"{name}: backends disagree ({walk_value!r} vs {closure_value!r})")
+    assert walk_value == pycode_value, (
+        f"{name}: pycode disagrees ({walk_value!r} vs {pycode_value!r})")
     speedup = walk_ms / closure_ms if closure_ms else 0.0
+    pycode_speedup = closure_ms / pycode_ms if pycode_ms else 0.0
     record_metric(f"{name}_walk_ms", round(walk_ms, 3), "ms",
                   area="interp")
     record_metric(f"{name}_closure_ms", round(closure_ms, 3), "ms",
                   area="interp")
+    record_metric(f"{name}_pycode_ms", round(pycode_ms, 3), "ms",
+                  area="interp")
     record_metric(f"{name}_speedup", round(speedup, 3), "x",
                   area="interp")
-    return walk_ms, closure_ms, speedup, walk_value
+    record_metric(f"pycode_{name}_speedup", round(pycode_speedup, 3),
+                  "x", area="interp")
+    return {
+        "walk_ms": walk_ms,
+        "closure_ms": closure_ms,
+        "pycode_ms": pycode_ms,
+        "speedup": speedup,
+        "pycode_speedup": pycode_speedup,
+        "value": walk_value,
+    }
+
+
+def _rows(timings):
+    return [
+        ["result", timings["value"]],
+        ["walk ms", round(timings["walk_ms"], 2)],
+        ["closure ms", round(timings["closure_ms"], 2)],
+        ["pycode ms", round(timings["pycode_ms"], 2)],
+        ["closure speedup", f"{timings['speedup']:.2f}x"],
+        ["pycode vs closure", f"{timings['pycode_speedup']:.2f}x"],
+    ]
 
 
 def test_e14_loop_workload():
-    walk_ms, closure_ms, speedup, value = _compare("loop", LOOP_SOURCE)
-    report("E14: loop workload (walk vs closure)", [
-        ["result", value],
-        ["walk ms", round(walk_ms, 2)],
-        ["closure ms", round(closure_ms, 2)],
-        ["speedup", f"{speedup:.2f}x"],
-    ], area="interp")
-    assert speedup > 1.0
+    timings = _compare("loop", LOOP_SOURCE)
+    report("E14/E15: loop workload", _rows(timings), area="interp")
+    assert timings["speedup"] > 1.0
+    assert timings["pycode_speedup"] > 1.0
 
 
 def test_e14_call_workload():
-    walk_ms, closure_ms, speedup, value = _compare("call", CALL_SOURCE)
-    report("E14: virtual-call workload (walk vs closure)", [
-        ["result", value],
-        ["walk ms", round(walk_ms, 2)],
-        ["closure ms", round(closure_ms, 2)],
-        ["speedup", f"{speedup:.2f}x"],
-    ], area="interp")
-    # The issue's headline number: inline caches must pay off on
-    # call-heavy code.  2x here is a loose floor for noisy runners; the
-    # committed baseline records ~4-5x.
-    assert speedup >= 2.0
+    timings = _compare("call", CALL_SOURCE)
+    report("E14/E15: virtual-call workload", _rows(timings),
+           area="interp")
+    # The E14 headline: inline caches must pay off on call-heavy code.
+    # 2x here is a loose floor for noisy runners; the committed
+    # baseline records ~4-5x.
+    assert timings["speedup"] >= 2.0
+    # The E15 headline: guarded direct calls through generated code
+    # must be at least 2x faster again than the closure backend.
+    assert timings["pycode_speedup"] >= 2.0
 
 
 def test_e14_field_workload():
-    walk_ms, closure_ms, speedup, value = _compare("field", FIELD_SOURCE)
-    report("E14: field-access workload (walk vs closure)", [
-        ["result", value],
-        ["walk ms", round(walk_ms, 2)],
-        ["closure ms", round(closure_ms, 2)],
-        ["speedup", f"{speedup:.2f}x"],
-    ], area="interp")
-    assert speedup > 1.0
+    timings = _compare("field", FIELD_SOURCE)
+    report("E14/E15: field-access workload", _rows(timings),
+           area="interp")
+    assert timings["speedup"] > 1.0
+    assert timings["pycode_speedup"] > 1.0
 
 
 def test_e14_multijava_workload():
-    walk_ms, closure_ms, speedup, value = _compare(
-        "e9_dispatch", E9_SOURCE, multijava=True)
-    report("E14: E9 MultiJava dispatch workload (walk vs closure)", [
-        ["result", value],
-        ["walk ms", round(walk_ms, 2)],
-        ["closure ms", round(closure_ms, 2)],
-        ["speedup", f"{speedup:.2f}x"],
-    ], area="interp")
-    assert value == 4000 * 3
-    assert speedup >= 1.2
+    timings = _compare("e9_dispatch", E9_SOURCE, multijava=True)
+    report("E14/E15: E9 MultiJava dispatch workload", _rows(timings),
+           area="interp")
+    assert timings["value"] == 4000 * 3
+    assert timings["speedup"] >= 1.2
+    assert timings["pycode_speedup"] >= 1.0
 
 
 def test_e14_inline_cache_health():

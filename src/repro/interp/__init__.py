@@ -5,10 +5,15 @@ library or MultiJava produces can be *run*, and the interpreter's
 operation counters (allocations, method calls, field reads) let the
 benchmarks measure what the paper's optimized expansions save.
 
-Two execution backends share one observable semantics: the seed
-tree-walker (``backend="walk"``, the default) and the closure compiler
+Three execution backends share one observable semantics: the seed
+tree-walker (``backend="walk"``, the default), the closure compiler
 with slot frames and inline caches (``backend="closure"``, in
-``repro.interp.closures``).
+``repro.interp.closures``), and the Python code generator with
+profile-guided specialization — guarded direct calls, native
+operators, an on-disk source cache — (``backend="pycode"``, in
+``repro.interp.pycodegen``).  The pycode tier falls back to closures,
+and closures to the walker, whenever a construct is out of scope for
+the faster tier.
 """
 
 from repro.interp.values import JavaArray, JavaNull, JavaObject, JavaThrow, java_str

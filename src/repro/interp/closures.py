@@ -25,7 +25,11 @@ call; this backend pays those costs once per method body instead:
   the checker's cached static type.
 * **Per-method plan cache** — compiled bodies live on the ``Method``
   object (``_closure_plan``), keyed by the member epoch, so MultiJava's
-  generated ``m$impl`` dispatchers compile once and replay.
+  generated ``m$impl`` dispatchers compile once and replay.  A bounded
+  :class:`PlanRegistry` (``MAYA_PLAN_CACHE_SIZE``, default 4096 methods)
+  evicts the least-recently-compiled plans so daemon sessions cannot
+  accumulate plans forever; evictions land in the
+  ``maya_cache_events_total{cache="interp.closure.plans"}`` family.
 
 Observable behaviour is kept bit-for-bit equal to the walker: the same
 operation counters are bumped at the same points, the same Java
@@ -40,8 +44,13 @@ instances.
 
 from __future__ import annotations
 
+import os
+import threading
+import weakref
+from collections import OrderedDict
 from typing import Dict
 
+from repro import perf
 from repro.ast import nodes as n
 from repro.core import MayaError
 from repro.interp.interp import (
@@ -127,6 +136,66 @@ WALK = object()
 
 _NUMERIC_TYPES = (INT, LONG, SHORT, BYTE, DOUBLE, FLOAT)
 
+#: Bound on how many Methods may hold a cached plan attribute per
+#: backend (long-lived daemon sessions otherwise accumulate plans for
+#: every method of every program they ever compiled).
+PLAN_CACHE_SIZE = int(os.environ.get("MAYA_PLAN_CACHE_SIZE") or 4096)
+
+
+class PlanRegistry:
+    """A bounded LRU registry of Methods carrying a cached plan.
+
+    The plan itself stays directly on the Method (one ``getattr`` on
+    the hit path — the registry is never consulted there); ``note()``
+    is called only on compile misses, so eviction order is
+    least-recently-*compiled*, and evicting a method just deletes its
+    plan attribute — the next call recompiles.  Evictions are counted
+    in the ``maya_cache_events_total`` registry family.
+    """
+
+    def __init__(self, attr: str, maxsize: int, stats) -> None:
+        self.attr = attr
+        self.maxsize = max(1, maxsize)
+        self.stats = stats
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[int, weakref.ref]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def note(self, method) -> None:
+        """Record that ``method`` just (re)compiled a plan, evicting the
+        oldest plans past the bound."""
+        victims = []
+        with self._lock:
+            key = id(method)
+            existing = self._entries.pop(key, None)
+            if existing is None or existing() is not method:
+                existing = weakref.ref(method)
+            self._entries[key] = existing
+            while len(self._entries) > self.maxsize:
+                _key, ref = self._entries.popitem(last=False)
+                victims.append(ref)
+        for ref in victims:
+            victim = ref()
+            if victim is None:
+                continue  # the Method died; nothing left to evict
+            try:
+                delattr(victim, self.attr)
+            except AttributeError:
+                continue  # already invalidated some other way
+            self.stats.evict()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Bounded registry for ``Method._closure_plan`` attributes.
+_PLAN_REGISTRY = PlanRegistry("_closure_plan", PLAN_CACHE_SIZE,
+                              perf.cache_stats("interp.closure.plans"))
+
 
 class ClosureCompileError(Exception):
     """A node shape the closure compiler does not reproduce exactly;
@@ -163,6 +232,7 @@ def plan_for(method):
         plan = WALK
         _COMPILE_FALLBACK.value += 1
     method._closure_plan = (epoch, plan)
+    _PLAN_REGISTRY.note(method)
     return plan
 
 

@@ -59,6 +59,7 @@ _OP_CHILDREN = {
 #: walk-only embedders never pay the import and to break the module
 #: cycle (closures imports this module's helpers).
 _closures = None
+_pycodegen = None
 
 
 class Counters:
@@ -164,9 +165,13 @@ class Interpreter:
     """Executes a CompiledProgram.
 
     ``backend`` selects the execution strategy: ``"walk"`` (the seed
-    tree-walker, the default) or ``"closure"`` (slot frames + inline
-    caches; see ``repro.interp.closures``).  When None, the
-    ``MAYA_BACKEND`` environment variable decides, defaulting to walk.
+    tree-walker, the default), ``"closure"`` (slot frames + inline
+    caches; see ``repro.interp.closures``) or ``"pycode"`` (generated
+    Python source with specialized call sites; see
+    ``repro.interp.pycodegen`` — methods its codegen cannot reproduce
+    fall back to the closure backend, and from there to the walker).
+    When None, the ``MAYA_BACKEND`` environment variable decides,
+    defaulting to walk.
     """
 
     def __init__(self, program: CompiledProgram, echo: bool = False,
@@ -175,18 +180,24 @@ class Interpreter:
                  backend: Optional[str] = None):
         if backend is None:
             backend = os.environ.get("MAYA_BACKEND", "") or "walk"
-        if backend not in ("walk", "closure"):
+        if backend not in ("walk", "closure", "pycode"):
             raise MayaError(
                 f"unknown interpreter backend {backend!r} "
-                f"(expected 'walk' or 'closure')"
+                f"(expected 'walk', 'closure' or 'pycode')"
             )
         self.backend = backend
-        if backend == "closure":
+        if backend in ("closure", "pycode"):
             global _closures
             if _closures is None:
                 from repro.interp import closures
 
                 _closures = closures
+        if backend == "pycode":
+            global _pycodegen
+            if _pycodegen is None:
+                from repro.interp import pycodegen
+
+                _pycodegen = pycodegen
         self.program = program
         self.registry = program.env.registry
         self.builtins = build_table()
@@ -368,7 +379,16 @@ class Interpreter:
             # A Python implementation attached directly to the Method
             # (intercession-added members).
             return method.impl(self, receiver, args)
-        if self.backend == "closure" and method.decl is not None \
+        if self.backend == "pycode" and method.decl is not None \
+                and method.decl.body is not None:
+            plan = _pycodegen.plan_for(method, self)
+            if plan is not _pycodegen.FALLBACK:
+                return _pycodegen.run_plan(self, plan, receiver, args)
+            # Codegen declined this method: drop to the closure tier.
+            plan = _closures.plan_for(method)
+            if plan is not _closures.WALK:
+                return _closures.run_plan(self, plan, receiver, args)
+        elif self.backend == "closure" and method.decl is not None \
                 and method.decl.body is not None:
             plan = _closures.plan_for(method)
             if plan is not _closures.WALK:

@@ -1,0 +1,1844 @@
+"""The ahead-of-time Python-codegen execution backend.
+
+The third rung of the backend ladder (``walk`` -> ``closure`` ->
+``pycode``): a per-method compiler from the *typed* AST to Python
+source, ``compile()``d once and executed as a real Python function.
+Where the closure backend pays one Python call per AST node, this
+backend pays native bytecode: Java locals become Python locals, loops
+become Python loops, ``try``/``finally`` becomes Python's, and the
+static-type fast paths the closure backend selects per node are emitted
+as bare operators.
+
+Profile-guided specialization happens at the call sites:
+
+* **Self-patching monomorphic call sites** — every virtual call emits a
+  class guard plus a direct call through three plan-namespace cells
+  (``_sN_k`` guard class, ``_sN_f`` entry function, ``_sN_m`` resolved
+  method).  The first receiver class observed patches the site to call
+  the callee's generated entry *directly* (no ``invoke_exact``, no
+  dict lookup); a guard failure deopts to the generic inline-cache
+  dispatcher (counted in ``maya_interp_codegen_deopts_total``), and
+  after ``MEGAMORPHIC`` deopts the site unpatches itself for good.
+* **Caller-side depth guards** — direct calls bump the interpreter's
+  call depth inline (the same ``JavaStackOverflow`` contract as
+  ``invoke_exact``) so a patched call chain observes exactly one depth
+  increment per Java frame.
+
+Generated source is cached on disk (``MAYA_CODEGEN_CACHE`` or
+:func:`enable_codegen_cache`) keyed by a content fingerprint of the
+method's unparsed declaration — the same content-addressed discipline
+as the LALR table cache in ``repro.lalr.tables``, including the
+quarantine-on-corrupt ladder (``maya_interp_codegen_cache_corrupt_total``)
+and the ``cache.codegen.load`` fault site.  Daemon workers point this
+cache at a shared directory so one worker's codegen warms the others.
+
+Observable behaviour is bit-for-bit the walker's: the same operation
+counters bump at the same points, the same Java exceptions carry the
+same messages, and any shape this compiler cannot prove it reproduces
+raises :class:`CodegenError`, caching a ``FALLBACK`` sentinel so the
+method transparently drops to the closure backend (and from there, to
+the walker).  Plans are invalidated by ``MEMBER_EPOCH``; because
+patched sites bypass ``plan_for`` entirely, this module registers an
+epoch listener (``repro.types.types.on_member_epoch_bump``) that
+unpatches every live plan's sites the moment intercession changes any
+class's member table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import sys
+import weakref
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro import faults, perf
+from repro.ast import nodes as n
+from repro.ast import unparse
+from repro.core import MayaError
+from repro.interp.interp import (
+    _C_ALLOCATIONS,
+    _C_ARRAY_READS,
+    _C_ARRAY_WRITES,
+    _C_FIELD_READS,
+    _C_FIELD_WRITES,
+    _C_METHOD_CALLS,
+    _C_STATEMENTS,
+    JavaStackOverflow,
+    _binary_op,
+    _java_equal,
+    _num,
+    _primitive_cast,
+)
+from repro.interp.closures import (
+    MEGAMORPHIC,
+    _IC_CALL_HIT,
+    _IC_CALL_MEGA,
+    _IC_CALL_MISS,
+    _IC_FIELD_HIT,
+    _IC_FIELD_MEGA,
+    _IC_FIELD_MISS,
+    _IC_TYPE_HIT,
+    _IC_TYPE_MISS,
+    _is_int_type,
+    _is_numeric_type,
+    _is_string_type,
+    _FOLDABLE,
+)
+from repro.interp import closures as _closures
+from repro.interp.values import (
+    JavaArray,
+    JavaObject,
+    JavaThrow,
+    default_value,
+    java_str,
+)
+from repro.obs import lazy as obs_lazy
+from repro.obs.metrics import REGISTRY
+from repro.typecheck import resolve_name, resolve_type_name, static_type_of
+from repro.types import ArrayType, BOOLEAN, PrimitiveType, array_of
+from repro.types import types as _types
+
+#: Method-body codegen outcomes (compiled / fallback / disk_hit /
+#: link_error) — the pycode analogue of
+#: ``maya_interp_closure_compiles_total``.
+_CODEGEN = REGISTRY.counter(
+    "maya_interp_codegen_total",
+    "Pycode-backend method compilations, by outcome.",
+    ("outcome",))
+_CG_COMPILED = _CODEGEN.labels("compiled")
+_CG_FALLBACK = _CODEGEN.labels("fallback")
+_CG_DISK_HIT = _CODEGEN.labels("disk_hit")
+_CG_LINK_ERROR = _CODEGEN.labels("link_error")
+
+#: Guard failures at specialized sites: the call deopts to the generic
+#: inline-cache dispatcher (observable behaviour unchanged).
+_DEOPTS = REGISTRY.counter(
+    "maya_interp_codegen_deopts_total",
+    "Pycode specialized-site guard failures (deopt to generic dispatch).",
+    ("site",))
+_DEOPT_CALL = _DEOPTS.labels("call")
+
+#: Corrupt on-disk codegen cache entries detected (then quarantined).
+_CG_CORRUPT = REGISTRY.counter(
+    "maya_interp_codegen_cache_corrupt_total",
+    "On-disk codegen cache entries found corrupt, quarantined, and "
+    "regenerated.")
+
+#: Artifact schema version; stale formats are plain misses.
+PYCODE_FORMAT = 1
+
+#: Opt-in on-disk source cache directory (``MAYA_CODEGEN_CACHE`` or the
+#: daemon's ``codegen_cache_dir``).
+_DISK_DIR: Optional[str] = os.environ.get("MAYA_CODEGEN_CACHE") or None
+
+#: Plan sentinel: this method always executes on a lower-tier backend.
+FALLBACK = object()
+
+#: Missing-value sentinel shared with the closure backend's semantics.
+_MISSING = _closures._MISSING
+
+#: Every live compiled plan, so the member-epoch listener can unpatch
+#: specialized sites the moment intercession changes a member table.
+_LIVE_PLANS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+class CodegenError(Exception):
+    """A node shape the Python codegen does not reproduce exactly; the
+    method falls back to the closure backend (then the walker)."""
+
+
+class _LinkError(Exception):
+    """A disk artifact whose symbol descriptors no longer resolve."""
+
+
+def enable_codegen_cache(path: Optional[str]) -> None:
+    """Point the persistent codegen cache at ``path`` (None disables)."""
+    global _DISK_DIR
+    _DISK_DIR = path
+
+
+@contextmanager
+def codegen_cache_at(path: Optional[str]):
+    """Scope the persistent codegen cache to ``path``, restoring the
+    previous directory on exit (tests and the daemon)."""
+    previous = _DISK_DIR
+    enable_codegen_cache(path)
+    try:
+        yield
+    finally:
+        enable_codegen_cache(previous)
+
+
+def disable_codegen_cache() -> None:
+    enable_codegen_cache(None)
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+class PyPlan:
+    """A compiled method: the generated entry function plus its
+    namespace (for site patching) and source (for ``--dump-codegen``)."""
+
+    __slots__ = ("entry", "ns", "source", "resets", "label", "__weakref__")
+
+    def __init__(self, entry, ns, source, resets, label):
+        self.entry = entry
+        self.ns = ns
+        self.source = source
+        self.resets = resets
+        self.label = label
+
+    def invalidate_sites(self) -> None:
+        """Unpatch every specialized site (member epoch bumped)."""
+        for reset in self.resets:
+            reset()
+
+
+def _on_member_epoch_bump(_epoch: int) -> None:
+    for plan in list(_LIVE_PLANS):
+        plan.invalidate_sites()
+
+
+_types.on_member_epoch_bump(_on_member_epoch_bump)
+
+
+#: Bounded registry for ``Method._pycode_plan`` attributes, mirroring
+#: the closure backend's plan registry (evictions land in the
+#: ``maya_cache_events_total{cache="interp.pycode.plans"}`` family).
+_PLAN_REGISTRY = _closures.PlanRegistry(
+    "_pycode_plan", _closures.PLAN_CACHE_SIZE,
+    perf.cache_stats("interp.pycode.plans"))
+
+
+def plan_for(method, interp):
+    """The cached compiled plan for a method (or ``FALLBACK``).
+
+    ``interp`` supplies the class registry used to link disk-cached
+    artifacts; the plan itself never captures the interpreter, so plans
+    are shared across Interpreter instances (like closure plans).
+    """
+    cached = getattr(method, "_pycode_plan", None)
+    epoch = _types.MEMBER_EPOCH
+    if cached is not None and cached[0] == epoch:
+        return cached[1]
+    plan = _build_plan(method, interp)
+    method._pycode_plan = (epoch, plan)
+    _PLAN_REGISTRY.note(method)
+    return plan
+
+
+def run_plan(interp, plan: PyPlan, receiver, args):
+    """Execute a compiled plan (called under invoke_exact's depth
+    guard, exactly like the walker's dict-frame execution)."""
+    return plan.entry(interp, receiver, *args)
+
+
+def _build_plan(method, interp):
+    decl = method.decl
+    if method.impl is not None or decl is None or decl.body is None:
+        # A builtin or an intercession-attached Python impl: never
+        # codegen's job, so not counted as a fallback.
+        return FALLBACK
+    try:
+        gen = _MethodGen(method)
+    except CodegenError:
+        _CG_FALLBACK.value += 1
+        return FALLBACK
+    key = _cache_key(method) if _DISK_DIR is not None else None
+    if key is not None:
+        plan = _disk_load(interp, method, key)
+        if plan is not None:
+            _CG_DISK_HIT.value += 1
+            _LIVE_PLANS.add(plan)
+            return plan
+    try:
+        source, consts, sites = gen.generate()
+        plan = _link(interp, method, source, _live_consts(consts),
+                     _live_sites(sites))
+    except (CodegenError, SyntaxError):
+        _CG_FALLBACK.value += 1
+        return FALLBACK
+    _CG_COMPILED.value += 1
+    if key is not None:
+        _disk_store(method, key, source, consts, sites)
+    _LIVE_PLANS.add(plan)
+    return plan
+
+
+def _entry_for(method, interp):
+    """The direct-call entry for a resolved method: its generated
+    function when it compiles, otherwise a shim through
+    ``_invoke_exact`` (guard-free — the *caller's* inline depth guard
+    supplies the one increment ``invoke_exact`` would have)."""
+    plan = plan_for(method, interp)
+    if plan is FALLBACK:
+        def shim(interp, receiver, *args):
+            return interp._invoke_exact(method, receiver, list(args))
+        return shim
+    return plan.entry
+
+
+def _overflow(interp, method):
+    raise JavaStackOverflow(
+        f"Java stack overflow: call depth exceeded "
+        f"{interp.max_call_depth} invoking {method}"
+    )
+
+
+def _raise_unbound(exc, mapping):
+    """Map a generated-local UnboundLocalError/NameError back to the
+    walker's ``MayaError("unbound local x")`` contract."""
+    name = getattr(exc, "name", None)
+    if name is None:
+        match = re.search(r"'([^']+)'", str(exc))
+        name = match.group(1) if match else None
+    message = mapping.get(name)
+    if message is None:
+        raise exc
+    raise MayaError(message) from None
+
+
+# ---------------------------------------------------------------------------
+# Site builders (created at link time; never capture the interpreter)
+# ---------------------------------------------------------------------------
+
+
+def _make_call_site(ns, index, method):
+    """A self-patching virtual call site.
+
+    The generated guard is ``if _k is _sN_k: <direct call>``;  this
+    dispatcher is the slow path.  While unpatched it behaves like the
+    closure backend's inline cache, and the first receiver class it
+    sees specializes the site.  Reached with a *patched* guard it is a
+    deopt: counted, and past ``MEGAMORPHIC`` misses the site unpatches
+    itself permanently (generic dict-IC mode)."""
+    k_name, f_name, m_name = (f"_s{index}_k", f"_s{index}_f",
+                              f"_s{index}_m")
+    cache: Dict[object, object] = {}
+    state = [0, False]  # deopt misses, permanently-polymorphic
+
+    def dispatch(interp, receiver, klass, args):
+        resolved = cache.get(klass)
+        if resolved is None:
+            if len(cache) >= MEGAMORPHIC:
+                _IC_CALL_MEGA.value += 1
+                resolved = interp._virtual_lookup(klass, method)
+            else:
+                _IC_CALL_MISS.value += 1
+                resolved = cache[klass] = \
+                    interp._virtual_lookup(klass, method)
+        else:
+            _IC_CALL_HIT.value += 1
+        if ns[k_name] is not None:
+            # The fast-path guard was patched and still missed: deopt.
+            _DEOPT_CALL.value += 1
+            state[0] += 1
+            if state[0] >= MEGAMORPHIC:
+                ns[k_name] = None
+                ns[f_name] = None
+                state[1] = True
+        elif not state[1]:
+            # First receiver class observed: specialize the site.
+            ns[m_name] = resolved
+            ns[f_name] = _entry_for(resolved, interp)
+            ns[k_name] = klass
+        return interp.invoke_exact(resolved, receiver, list(args))
+
+    def reset():
+        cache.clear()
+        state[0] = 0
+        state[1] = False
+        ns[k_name] = None
+        ns[f_name] = None
+        ns[m_name] = method
+
+    ns[k_name] = None
+    ns[f_name] = None
+    ns[m_name] = method
+    ns[f"_s{index}_d"] = dispatch
+    return reset
+
+
+def _make_static_site(ns, index, method):
+    """A static/super/instance-qualified-static call site: the target
+    is a codegen-time constant, so the only laziness is building the
+    callee's entry on first call (which also dodges infinite recursion
+    while compiling self-recursive methods)."""
+    f_name = f"_s{index}_f"
+
+    def call_generic(interp, receiver, args):
+        if ns[f_name] is None:
+            ns[f_name] = _entry_for(method, interp)
+        return interp.invoke_exact(method, receiver, list(args))
+
+    def reset():
+        ns[f_name] = None
+
+    ns[f_name] = None
+    ns[f"_s{index}_m"] = method
+    ns[f"_s{index}_g"] = call_generic
+    return reset
+
+
+def _make_ifield_site(ns, index, name):
+    """Unchecked runtime field *read* — the closure backend's field
+    inline cache, verbatim (including the array-length probe)."""
+    cache: Dict[object, object] = {}
+
+    def read(interp, receiver):
+        if isinstance(receiver, JavaArray) and name == "length":
+            return len(receiver)
+        klass = receiver.class_type if type(receiver) is JavaObject \
+            else interp._class_of_value(receiver)
+        found = cache.get(klass, _MISSING)
+        if found is _MISSING:
+            if len(cache) >= MEGAMORPHIC:
+                _IC_FIELD_MEGA.value += 1
+                found = klass.find_field(name)
+            else:
+                _IC_FIELD_MISS.value += 1
+                found = cache[klass] = klass.find_field(name)
+        else:
+            _IC_FIELD_HIT.value += 1
+        return interp._read_field(receiver, found)
+
+    ns[f"_s{index}"] = read
+    return cache.clear
+
+
+def _make_sfield_site(ns, index, name):
+    """Unchecked runtime field *store* inline cache."""
+    cache: Dict[object, object] = {}
+
+    def store(interp, receiver, value):
+        klass = receiver.class_type if type(receiver) is JavaObject \
+            else interp._class_of_value(receiver)
+        found = cache.get(klass, _MISSING)
+        if found is _MISSING:
+            if len(cache) >= MEGAMORPHIC:
+                _IC_FIELD_MEGA.value += 1
+                found = klass.find_field(name)
+            else:
+                _IC_FIELD_MISS.value += 1
+                found = cache[klass] = klass.find_field(name)
+        else:
+            _IC_FIELD_HIT.value += 1
+        interp._write_field(receiver, found, value)
+
+    ns[f"_s{index}"] = store
+    return cache.clear
+
+
+def _make_instanceof_site(ns, index, target):
+    """``instanceof`` with a per-runtime-type verdict cache."""
+    cache: Dict[object, object] = {}
+
+    def test(interp, value):
+        if value is None:
+            return False
+        runtime = interp._runtime_type(value)
+        verdict = cache.get(runtime, _MISSING)
+        if verdict is _MISSING:
+            _IC_TYPE_MISS.value += 1
+            verdict = cache[runtime] = runtime.is_subtype_of(target)
+        else:
+            _IC_TYPE_HIT.value += 1
+        return verdict
+
+    ns[f"_s{index}"] = test
+    return cache.clear
+
+
+def _make_cast_site(ns, index, target):
+    """A reference cast with a per-runtime-type verdict cache."""
+    cache: Dict[object, object] = {}
+
+    def cast(interp, value):
+        if value is None:
+            return None
+        runtime = interp._runtime_type(value)
+        verdict = cache.get(runtime, _MISSING)
+        if verdict is _MISSING:
+            _IC_TYPE_MISS.value += 1
+            verdict = cache[runtime] = runtime.is_subtype_of(target)
+        else:
+            _IC_TYPE_HIT.value += 1
+        if not verdict:
+            raise interp.throw("java.lang.ClassCastException",
+                               f"{interp._runtime_type(value)} to {target}")
+        return value
+
+    ns[f"_s{index}"] = cast
+    return cache.clear
+
+
+_SITE_BUILDERS = {
+    "call": _make_call_site,
+    "scall": _make_static_site,
+    "ifield": _make_ifield_site,
+    "sfield": _make_sfield_site,
+    "instanceof": _make_instanceof_site,
+    "cast": _make_cast_site,
+}
+
+
+# ---------------------------------------------------------------------------
+# Linking: (source, consts, sites) -> PyPlan
+# ---------------------------------------------------------------------------
+
+
+def _runtime_ns() -> dict:
+    return {
+        "_ST": _C_STATEMENTS, "_MC": _C_METHOD_CALLS,
+        "_FR": _C_FIELD_READS, "_FW": _C_FIELD_WRITES,
+        "_AR": _C_ARRAY_READS, "_AW": _C_ARRAY_WRITES,
+        "_AL": _C_ALLOCATIONS,
+        "_JO": JavaObject, "_JA": JavaArray, "_JT": JavaThrow,
+        "_MI": _MISSING, "_ME": MayaError,
+        "_num": _num, "_bop": _binary_op, "_jeq": _java_equal,
+        "_jstr": java_str, "_pcast": _primitive_cast,
+        "_ovf": _overflow, "_unb": _raise_unbound,
+    }
+
+
+def _live_consts(consts):
+    return [(name, value) for name, value, _descr in consts]
+
+
+def _live_sites(sites):
+    return [(index, kind, payload) for index, kind, payload, _d in sites]
+
+
+def _link(interp, method, source, consts, sites) -> PyPlan:
+    label = method_label(method)
+    ns = _runtime_ns()
+    for name, value in consts:
+        ns[name] = value
+    resets = []
+    for index, kind, payload in sites:
+        resets.append(_SITE_BUILDERS[kind](ns, index, payload))
+    code = compile(source, f"<pycode {label}>", "exec")
+    exec(code, ns)
+    return PyPlan(ns["_m"], ns, source, resets, label)
+
+
+def method_label(method) -> str:
+    owner = method.declaring_class.name if method.declaring_class else "?"
+    params = ", ".join(str(p) for p in method.param_types)
+    return f"{owner}.{method.name}({params})"
+
+
+# ---------------------------------------------------------------------------
+# Symbol descriptors (persisting consts/sites across processes)
+# ---------------------------------------------------------------------------
+
+
+def _descr_of_type(t):
+    if isinstance(t, PrimitiveType):
+        return ["prim", t.name]
+    if isinstance(t, ArrayType):
+        dims = 0
+        while isinstance(t, ArrayType):
+            t = t.element
+            dims += 1
+        base = _descr_of_type(t)
+        return ["arr", base, dims] if base is not None else None
+    name = getattr(t, "name", None)
+    if isinstance(name, str):
+        return ["cls", name]
+    return None
+
+
+def _descr_of_method(m):
+    if m is None or m.declaring_class is None:
+        return None
+    params = [str(p) for p in m.param_types]
+    if m.name == "<init>":
+        return ["ctor", m.declaring_class.name, params]
+    return ["mth", m.declaring_class.name, m.name, params]
+
+
+def _descr_of_field(f):
+    if f is None or f.declaring_class is None:
+        return None
+    return ["fld", f.declaring_class.name, f.name]
+
+
+def _resolve_class(interp, qname):
+    try:
+        klass = interp.registry.require(qname)
+    except Exception:
+        raise _LinkError(qname) from None
+    if klass is None:
+        raise _LinkError(qname)
+    return klass
+
+
+def _resolve_descr(interp, descr):
+    kind = descr[0]
+    if kind == "prim":
+        t = _types.PRIMITIVES.get(descr[1])
+        if t is None:
+            raise _LinkError(descr[1])
+        return t
+    if kind == "cls":
+        return _resolve_class(interp, descr[1])
+    if kind == "arr":
+        return array_of(_resolve_descr(interp, descr[1]), descr[2])
+    if kind == "fld":
+        field = _resolve_class(interp, descr[1]).fields.get(descr[2])
+        if field is None:
+            raise _LinkError(f"{descr[1]}.{descr[2]}")
+        return field
+    if kind == "mth":
+        klass = _resolve_class(interp, descr[1])
+        for m in klass.methods.get(descr[2], ()):
+            if [str(p) for p in m.param_types] == descr[3]:
+                return m
+        raise _LinkError(f"{descr[1]}.{descr[2]}")
+    if kind == "ctor":
+        klass = _resolve_class(interp, descr[1])
+        for ctor in klass.constructors:
+            if [str(p) for p in ctor.param_types] == descr[2]:
+                return ctor
+        if not descr[2]:
+            return _types.Method("<init>", (), _types.VOID, (), klass)
+        raise _LinkError(f"{descr[1]}.<init>")
+    if kind == "lit":
+        return descr[1]
+    raise _LinkError(f"descriptor kind {kind!r}")
+
+
+def _resolve_site_payload(interp, kind, descr):
+    if kind in ("call", "scall"):
+        return _resolve_descr(interp, descr)
+    if kind in ("ifield", "sfield"):
+        return descr  # a plain field name
+    return _resolve_descr(interp, descr)  # instanceof / cast target type
+
+
+# ---------------------------------------------------------------------------
+# The on-disk source cache (same ladder as repro.lalr.tables)
+# ---------------------------------------------------------------------------
+
+
+def _cache_key(method) -> Optional[str]:
+    try:
+        body_src = unparse.to_source(method.decl)
+    except Exception:
+        return None
+    owner = method.declaring_class.name if method.declaring_class else "?"
+    digest = hashlib.sha256()
+    digest.update(repr((PYCODE_FORMAT, sys.version_info[:2], owner,
+                        method.name,
+                        [str(p) for p in method.param_types])).encode())
+    digest.update(body_src.encode())
+    return digest.hexdigest()[:32]
+
+
+def _disk_path(key: str) -> str:
+    return os.path.join(_DISK_DIR, f"pycode-{key}.json")
+
+
+def _quarantine(path: str) -> None:
+    try:
+        os.replace(path, path + ".quarantine")
+    except OSError:
+        pass
+
+
+def _disk_load(interp, method, key: str) -> Optional[PyPlan]:
+    stats = perf.cache_stats("interp.pycode.disk")
+    path = _disk_path(key)
+    try:
+        faults.check(faults.SITE_CODEGEN_CACHE_LOAD)
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        if faults.corrupting(faults.SITE_CODEGEN_CACHE_LOAD):
+            payload = b"\x00 injected corrupt codegen entry"
+        artifact = json.loads(payload.decode("utf-8"))
+        if (not isinstance(artifact, dict)
+                or artifact.get("format") != PYCODE_FORMAT
+                or artifact.get("key") != key):
+            # Stale (old format / different method): a plain miss.
+            stats.miss()
+            return None
+        consts = [(name, _resolve_descr(interp, descr))
+                  for name, descr in artifact["consts"]]
+        sites = [(index, kind,
+                  _resolve_site_payload(interp, kind, descr))
+                 for index, kind, descr in artifact["sites"]]
+        plan = _link(interp, method, artifact["source"], consts, sites)
+    except (FileNotFoundError, faults.InjectedFault):
+        stats.miss()
+        return None
+    except _LinkError:
+        # Well-formed artifact whose symbols no longer resolve here:
+        # not corruption — regenerate (and overwrite) without
+        # quarantining.
+        _CG_LINK_ERROR.value += 1
+        stats.miss()
+        return None
+    except Exception:
+        # Garbage bytes, truncated JSON, unparsable source: quarantine
+        # the entry, count it, and regenerate — a bad cache file must
+        # never take the backend down.
+        _quarantine(path)
+        _CG_CORRUPT.inc()
+        stats.miss()
+        return None
+    stats.hit()
+    return plan
+
+
+def _disk_store(method, key: str, source, consts, sites) -> None:
+    if _DISK_DIR is None:
+        return
+    const_descrs = []
+    for name, _value, descr in consts:
+        if descr is None:
+            return  # a non-portable constant: keep this plan in-memory
+        const_descrs.append([name, descr])
+    site_descrs = []
+    for index, kind, _payload, descr in sites:
+        if descr is None:
+            return
+        site_descrs.append([index, kind, descr])
+    artifact = {
+        "format": PYCODE_FORMAT,
+        "key": key,
+        "method": method_label(method),
+        "source": source,
+        "consts": const_descrs,
+        "sites": site_descrs,
+    }
+    path = _disk_path(key)
+    try:
+        os.makedirs(_DISK_DIR, exist_ok=True)
+        scratch = f"{path}.{os.getpid()}.tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle)
+        os.replace(scratch, path)  # atomic: readers never see partials
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# The code generator
+# ---------------------------------------------------------------------------
+
+#: Literal types whose ``repr`` round-trips as Python source.
+_INLINE_LITERALS = (bool, int, float, str, type(None))
+
+
+def _stmts_of(block):
+    return block.stmts if isinstance(block, n.BlockStmts) else block
+
+
+def _binds_continue(stmt) -> bool:
+    """Does ``stmt`` contain a ``continue`` that would bind to the
+    *enclosing* loop (i.e. not nested inside an inner loop)?"""
+    kind = getattr(stmt, "node_kind", None)
+    if kind == "continue_stmt":
+        return True
+    if kind in ("while_stmt", "do_stmt", "for_stmt"):
+        return False
+    if kind == "lazy_node":
+        return stmt.is_forced() and _binds_continue(stmt.force())
+    if kind in ("block", "use_stmt"):
+        return any(_binds_continue(s) for s in _stmts_of(stmt.body))
+    if kind == "if_stmt":
+        if _binds_continue(stmt.then_stmt):
+            return True
+        return stmt.else_stmt is not None and \
+            _binds_continue(stmt.else_stmt)
+    if kind == "try_stmt":
+        if any(_binds_continue(s) for s in _stmts_of(stmt.body)):
+            return True
+        for clause in stmt.catches:
+            if any(_binds_continue(s) for s in _stmts_of(clause.body)):
+                return True
+        if stmt.finally_body is not None:
+            return any(_binds_continue(s)
+                       for s in _stmts_of(stmt.finally_body))
+    return False
+
+
+class _MethodGen:
+    """Generates one method body as Python source.
+
+    ``self.expr`` returns an *atom*: a string that is pure at its
+    sequence point (all side effects already emitted as lines).  Atoms
+    in ``self._atomic`` (temps, consts, literals, ``v_this``) are also
+    *stable* — immutable until the statement ends; anything else (a
+    local, a compound over locals) is retroactively spilled into a temp
+    whenever a later operand emits side-effecting lines, which is what
+    preserves Java's left-to-right evaluation order.
+    """
+
+    def __init__(self, method):
+        decl = method.decl
+        if method.impl is not None:
+            raise CodegenError("attached Python impl")
+        if decl is None or decl.body is None:
+            raise CodegenError("no body")
+        body = decl.body
+        if isinstance(body, n.LazyNode):
+            if not body.is_forced():
+                raise CodegenError("unforced lazy body")
+            body = body.force()
+        if not isinstance(body, n.BlockStmts):
+            raise CodegenError("body is not a checked block")
+        self.method = method
+        self.body = body
+        self.formals = decl.formals
+        self.lines: List[str] = []
+        self.indent = 2
+        self.ntemp = 0
+        self.nsite = 0
+        self.names: Dict[str, str] = {}
+        self.unbound: Dict[str, str] = {}
+        self._atomic = {"v_this", "interp"}
+        self.consts: List[Tuple[str, object, object]] = []
+        self.sites: List[Tuple[int, str, object, object]] = []
+        self.formal_names = [self.pyname(f.name.name) for f in self.formals]
+
+    # -- emission helpers ------------------------------------------------
+
+    def put(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def temp(self) -> str:
+        self.ntemp += 1
+        name = f"_t{self.ntemp}"
+        self._atomic.add(name)
+        return name
+
+    def flag(self) -> str:
+        # Flags are reassigned (loop bookkeeping), so never atomic.
+        self.ntemp += 1
+        return f"_g{self.ntemp}"
+
+    def pyname(self, name: str) -> str:
+        pname = self.names.get(name)
+        if pname is None:
+            pname = f"v{len(self.names)}_" + \
+                re.sub(r"[^0-9a-zA-Z_]", "_", name)
+            self.names[name] = pname
+        return pname
+
+    def const(self, value, descr) -> str:
+        name = f"_k{len(self.consts)}"
+        self.consts.append((name, value, descr))
+        self._atomic.add(name)
+        return name
+
+    def literal_atom(self, value) -> str:
+        if type(value) in _INLINE_LITERALS:
+            atom = repr(value)
+            self._atomic.add(atom)
+            return atom
+        descr = None
+        try:
+            json.dumps(value)
+            descr = ["lit", value]
+        except (TypeError, ValueError):
+            pass
+        return self.const(value, descr)
+
+    def spill(self, atom: str) -> str:
+        """Force a (pure) atom into a stable temp."""
+        if atom in self._atomic:
+            return atom
+        t = self.temp()
+        self.put(f"{t} = {atom}")
+        return t
+
+    def seq(self, thunks) -> List[str]:
+        """Evaluate operands left to right, retroactively spilling any
+        earlier unstable atom once a later operand emits lines."""
+        entries = []
+        for thunk in thunks:
+            atom = thunk()
+            entries.append([len(self.lines), self.indent, atom])
+        for entry in reversed(entries):
+            mark, ind, atom = entry
+            if len(self.lines) > mark and atom not in self._atomic:
+                t = self.temp()
+                self.lines.insert(mark, "    " * ind + f"{t} = {atom}")
+                entry[2] = t
+        return [entry[2] for entry in entries]
+
+    def operands(self, *exprs) -> List[str]:
+        return self.seq([lambda e=e: self.expr(e) for e in exprs])
+
+    def subcompile(self, expr, indent_delta: int):
+        """Compile ``expr`` into a detached buffer (for conditionally
+        executed operands).  Returns (atom, lines)."""
+        saved_lines, saved_indent = self.lines, self.indent
+        self.lines, self.indent = [], self.indent + indent_delta
+        try:
+            atom = self.expr(expr)
+            return atom, self.lines
+        finally:
+            self.lines, self.indent = saved_lines, saved_indent
+
+    def splice(self, lines: List[str]) -> None:
+        self.lines.extend(lines)
+
+    def suite(self, emit) -> None:
+        """Emit an indented suite, padding with ``pass`` if empty."""
+        self.indent += 1
+        mark = len(self.lines)
+        try:
+            emit()
+            if len(self.lines) == mark:
+                self.put("pass")
+        finally:
+            self.indent -= 1
+
+    def site(self, kind: str, payload, descr) -> int:
+        index = self.nsite
+        self.nsite += 1
+        self.sites.append((index, kind, payload, descr))
+        return index
+
+    def tick(self) -> None:
+        """The per-statement op count + step budget check (identical
+        observable points to the walker and closure backends)."""
+        self.put("_ST.value += 1")
+        self.put("if _ms is not None and _cnt.statements > _ms: "
+                 "interp._raise_step_limit()")
+
+    # -- top level -------------------------------------------------------
+
+    def generate(self):
+        for stmt in self.body.stmts:
+            self.stmt(stmt)
+        header = [
+            f"# pycode: {method_label(self.method)}",
+            "def _m(interp, v_this"
+            + "".join(f", {p}" for p in self.formal_names) + "):",
+            "    _ms = interp.max_steps",
+            "    _cnt = interp.counters",
+            "    try:",
+        ]
+        body = self.lines or ["        pass"]
+        unb = self.const(dict(self.unbound),
+                         ["lit", dict(self.unbound)])
+        footer = [
+            "    except (UnboundLocalError, NameError) as _exc:",
+            f"        _unb(_exc, {unb})",
+        ]
+        source = "\n".join(header + body + footer) + "\n"
+        return source, self.consts, self.sites
+
+    # -- statements ------------------------------------------------------
+
+    def block(self, block) -> None:
+        for stmt in _stmts_of(block):
+            self.stmt(stmt)
+
+    def stmt(self, stmt) -> None:
+        handler = _STMT_HANDLERS.get(stmt.node_kind)
+        if handler is None:
+            raise CodegenError(f"statement {stmt.node_kind}")
+        handler(self, stmt)
+
+    def _stmt_lazy(self, stmt) -> None:
+        # The walker counts a lazy statement twice per execution (the
+        # wrapper and the forced statement); mirror that.
+        if not stmt.is_forced():
+            raise CodegenError("unforced lazy statement")
+        obs_lazy.thunk_forcing(stmt)
+        self.tick()
+        self.stmt(stmt.force())
+
+    def _stmt_empty(self, stmt) -> None:
+        self.tick()
+
+    def _stmt_block(self, stmt) -> None:
+        self.tick()
+        self.block(stmt.body)
+
+    def _stmt_use(self, stmt) -> None:
+        self.tick()
+        self.block(stmt.body)
+
+    def _stmt_expr(self, stmt) -> None:
+        self.tick()
+        atom = self.expr(stmt.expr)
+        if atom not in self._atomic:
+            # Force evaluation (a bare local read can raise "unbound").
+            self.put(atom)
+
+    def _stmt_local_var(self, stmt) -> None:
+        self.tick()
+        scope = stmt.scope
+        declared = resolve_type_name(stmt.type_name, scope) \
+            if scope is not None else None
+        for ident, dims, init in stmt.bindings():
+            var_type = array_of(declared, dims) if declared and dims \
+                else declared
+            pname = self.pyname(ident.name)
+            if init is None:
+                value = default_value(var_type) if var_type else None
+                self.put(f"{pname} = {self.literal_atom(value)}")
+            elif isinstance(init, n.ArrayInitializer):
+                if not isinstance(var_type, ArrayType):
+                    raise CodegenError("array init on non-array")
+                atom = self.array_init(init, var_type)
+                self.put(f"{pname} = {atom}")
+            else:
+                atom = self.expr(init)
+                self.put(f"{pname} = {atom}")
+
+    def _stmt_if(self, stmt) -> None:
+        self.tick()
+        cond = self.expr(stmt.cond)
+        self.put(f"if {cond}:")
+        self.suite(lambda: self.stmt(stmt.then_stmt))
+        if stmt.else_stmt is not None:
+            self.put("else:")
+            self.suite(lambda: self.stmt(stmt.else_stmt))
+
+    def _stmt_while(self, stmt) -> None:
+        self.tick()
+        cond, cond_lines = self.subcompile(stmt.cond, 1)
+        if not cond_lines:
+            self.put(f"while {cond}:")
+            self.suite(lambda: self.stmt(stmt.body))
+            return
+        self.put("while True:")
+        self.splice(cond_lines)
+        self.indent += 1
+        self.put(f"if not ({cond}): break")
+        self.indent -= 1
+        self.suite(lambda: self.stmt(stmt.body))
+
+    def _stmt_do(self, stmt) -> None:
+        self.tick()
+        if _binds_continue(stmt.body):
+            # ``continue`` must re-check the condition: route the
+            # backedge through a first-iteration flag.
+            flag = self.flag()
+            cond, cond_lines = self.subcompile(stmt.cond, 2)
+            self.put(f"{flag} = True")
+            self.put("while True:")
+            self.indent += 1
+            self.put(f"if {flag}:")
+            self.put(f"    {flag} = False")
+            self.put("else:")
+            self.splice(cond_lines)
+            self.indent += 1
+            self.put(f"if not ({cond}): break")
+            self.indent -= 2
+            self.suite(lambda: self.stmt(stmt.body))
+            return
+        cond, cond_lines = self.subcompile(stmt.cond, 1)
+        self.put("while True:")
+        self.suite(lambda: self.stmt(stmt.body))
+        self.splice(cond_lines)
+        self.indent += 1
+        self.put(f"if not ({cond}): break")
+        self.indent -= 1
+
+    def _stmt_for(self, stmt) -> None:
+        self.tick()
+        if isinstance(stmt.init, n.LocalVarDecl):
+            self.stmt(stmt.init)
+        elif isinstance(stmt.init, list):
+            for init in stmt.init:
+                self._discard(self.expr(init))
+        elif stmt.init is not None:
+            raise CodegenError("for-init shape")
+        has_cond = stmt.cond is not None
+        if _binds_continue(stmt.body):
+            # ``continue`` must run the updates, then the condition.
+            flag = self.flag()
+            self.put(f"{flag} = True")
+            self.put("while True:")
+            self.indent += 1
+            self.put(f"if {flag}:")
+            self.put(f"    {flag} = False")
+            self.put("else:")
+            self.indent += 1
+            mark = len(self.lines)
+            for update in stmt.update:
+                self._discard(self.expr(update))
+            if len(self.lines) == mark:
+                self.put("pass")
+            self.indent -= 1
+            if has_cond:
+                cond = self.expr(stmt.cond)
+                self.put(f"if not ({cond}): break")
+            self.indent -= 1
+            self.suite(lambda: self.stmt(stmt.body))
+            return
+        cond_atom = cond_lines = None
+        if has_cond:
+            cond_atom, cond_lines = self.subcompile(stmt.cond, 1)
+        if has_cond and not cond_lines and not stmt.update:
+            self.put(f"while {cond_atom}:")
+            self.suite(lambda: self.stmt(stmt.body))
+            return
+        self.put("while True:")
+        if has_cond:
+            self.splice(cond_lines)
+            self.indent += 1
+            self.put(f"if not ({cond_atom}): break")
+            self.indent -= 1
+        self.suite(lambda: self.stmt(stmt.body))
+        # Native ``break`` exits the loop entirely, skipping these —
+        # exactly the walker's "break skips the updates".
+        self.indent += 1
+        for update in stmt.update:
+            self._discard(self.expr(update))
+        self.indent -= 1
+
+    def _discard(self, atom: str) -> None:
+        """Evaluate-and-discard an expression-statement atom (temps and
+        constants have no effects left to run)."""
+        if atom not in self._atomic:
+            self.put(atom)
+
+    def _stmt_return(self, stmt) -> None:
+        self.tick()
+        if stmt.expr is None:
+            self.put("return None")
+            return
+        atom = self.expr(stmt.expr)
+        self.put(f"return {atom}")
+
+    def _stmt_throw(self, stmt) -> None:
+        self.tick()
+        atom = self.expr(stmt.expr)
+        self.put(f"raise _JT({atom})")
+
+    def _stmt_break(self, stmt) -> None:
+        self.tick()
+        self.put("break")
+
+    def _stmt_continue(self, stmt) -> None:
+        self.tick()
+        self.put("continue")
+
+    def _stmt_try(self, stmt) -> None:
+        self.tick()
+        clauses = []
+        for clause in stmt.catches:
+            caught = getattr(clause, "caught_type", None)
+            if caught is None:
+                formal_scope = clause.formal.scope
+                if formal_scope is None:
+                    raise CodegenError("unchecked catch clause")
+                caught = resolve_type_name(clause.formal.type_name,
+                                           formal_scope)
+            pname = self.pyname(clause.formal.name.name)
+            kc = self.const(caught, _descr_of_type(caught))
+            clauses.append((kc, pname, clause.body))
+        self.put("try:")
+        self.suite(lambda: self.block(stmt.body))
+        if clauses:
+            exc = self.temp()
+            val = self.temp()
+            self.put(f"except _JT as {exc}:")
+            self.indent += 1
+            self.put(f"{val} = {exc}.value")
+            branch = "if"
+            for kc, pname, body in clauses:
+                self.put(f"{branch} {val}.class_type"
+                         f".is_subtype_of({kc}):")
+                self.indent += 1
+                self.put(f"{pname} = {val}")
+                self.indent -= 1
+                self.suite(lambda b=body: self.block(b))
+                branch = "elif"
+            self.put("else:")
+            self.put("    raise")
+            self.indent -= 1
+        if stmt.finally_body is not None:
+            # Native semantics match the walker: a return/break/
+            # continue inside finally swallows any in-flight exception
+            # and overrides the pending signal.
+            self.put("finally:")
+            self.suite(lambda: self.block(stmt.finally_body))
+
+    # -- array initializers ---------------------------------------------
+
+    def array_init(self, init, array_type: ArrayType) -> str:
+        element = array_type.element
+        self.put("_AL.value += 1")  # walker: allocation counted first
+        thunks = []
+        for item in init.elements:
+            if isinstance(item, n.ArrayInitializer):
+                if not isinstance(element, ArrayType):
+                    raise CodegenError("nested array init shape")
+                thunks.append(
+                    lambda item=item: self.array_init(item, element))
+            else:
+                thunks.append(lambda item=item: self.expr(item))
+        parts = self.seq(thunks)
+        ke = self.const(element, _descr_of_type(element))
+        t = self.temp()
+        self.put(f"{t} = _JA({ke}, [{', '.join(parts)}])")
+        return t
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, expr) -> str:
+        handler = _EXPR_HANDLERS.get(expr.node_kind)
+        if handler is None:
+            raise CodegenError(f"expression {expr.node_kind}")
+        return handler(self, expr)
+
+    def _expr_literal(self, expr) -> str:
+        return self.literal_atom(expr.value)
+
+    def _local_read(self, name: str) -> str:
+        pname = self.pyname(name)
+        self.unbound.setdefault(pname, f"unbound local {name}")
+        return pname
+
+    def _expr_name(self, expr) -> str:
+        kind, payload, fields = self._resolve(expr)
+        if kind == "local":
+            base = self._local_read(payload.name)
+        elif kind == "this_field":
+            base = self.field_read("v_this", fields[0])
+            fields = fields[1:]
+        elif kind == "static":
+            kp = self.const(payload, _descr_of_type(payload))
+            kf = self.const(fields[0], _descr_of_field(fields[0]))
+            t = self.temp()
+            self.put(f"{t} = interp._read_static({kp}, {kf})")
+            base = t
+            fields = fields[1:]
+        else:
+            raise CodegenError(f"{expr} is a class, not a value")
+        for field in fields:
+            base = self.field_read(base, field)
+        return base
+
+    def _resolve(self, expr):
+        try:
+            return resolve_name(expr, expr.scope)
+        except Exception as error:
+            raise CodegenError(str(error)) from None
+
+    def field_read(self, base: str, field) -> str:
+        """The closure backend's ``_wrap_field_read``, inlined."""
+        if field is None:  # the checker's array-length sentinel
+            t = self.temp()
+            self.put(f"{t} = len({base})")
+            return t
+        if field.is_static:
+            kf = self.const(field, _descr_of_field(field))
+            t = self.temp()
+            self.put(f"{t} = interp._read_field({base}, {kf})")
+            return t
+        b = self.spill(base)
+        fname = field.name
+        t = self.temp()
+        self.put("_FR.value += 1")
+        self.put(f"if {b} is None: raise interp.throw("
+                 f"'java.lang.NullPointerException', {fname!r})")
+        self.put(f"{t} = {b}.fields.get({fname!r}, _MI)")
+        self.put(f"if {t} is _MI: {t} = {b}.fields[{fname!r}] = "
+                 f"{self.literal_atom(default_value(field.type))}")
+        return t
+
+    def _expr_reference(self, expr) -> str:
+        binding = expr.binding
+        name = getattr(binding, "name", binding)
+        if isinstance(name, n.Ident):
+            name = name.name
+        if not isinstance(name, str):
+            raise CodegenError("reference binding shape")
+        pname = self.pyname(name)
+        t = self.temp()
+        self.put("try:")
+        self.put(f"    {t} = {pname}")
+        self.put("except (UnboundLocalError, NameError):")
+        message = f"unbound reference {name}"
+        self.put(f"    raise _ME({message!r}) from None")
+        return t
+
+    def _expr_this(self, expr) -> str:
+        return "v_this"
+
+    def _expr_paren(self, expr) -> str:
+        return self.expr(expr.inner)
+
+    def _expr_field_access(self, expr) -> str:
+        name = expr.name
+        if isinstance(expr.receiver, n.SuperExpr):
+            recv = "v_this"
+        else:
+            recv = self.expr(expr.receiver)
+        field = getattr(expr, "field", _MISSING)
+        if field is _MISSING:
+            # Unchecked access: runtime field lookup, inline-cached.
+            index = self.site("ifield", name, name)
+            r = self.spill(recv)
+            t = self.temp()
+            self.put(f"{t} = _s{index}(interp, {r})")
+            return t
+        if field is None:  # array length, statically known
+            r = self.spill(recv)
+            t = self.temp()
+            self.put(f"{t} = len({r}) if isinstance({r}, _JA) else "
+                     f"interp._read_field({r}, "
+                     f"interp._class_of_value({r}).find_field({name!r}))")
+            return t
+        if name == "length" or field.is_static:
+            kf = self.const(field, _descr_of_field(field))
+            r = self.spill(recv)
+            t = self.temp()
+            if name == "length":
+                self.put(f"{t} = len({r}) if isinstance({r}, _JA) "
+                         f"else interp._read_field({r}, {kf})")
+            else:
+                self.put(f"{t} = interp._read_field({r}, {kf})")
+            return t
+        return self.field_read(recv, field)
+
+    def _expr_array_access(self, expr) -> str:
+        arr, idx = self.operands(expr.array, expr.index)
+        a = self.spill(arr)
+        i = self.spill(idx)
+        t = self.temp()
+        self.put("_AR.value += 1")
+        self.put(f"if {a} is None: raise interp.throw("
+                 f"'java.lang.NullPointerException', None)")
+        self.put(f"{t} = {a}.values")
+        self.put(f"if {i} < 0 or {i} >= len({t}): raise interp.throw("
+                 f"'java.lang.IndexOutOfBoundsException', str({i}))")
+        t2 = self.temp()
+        self.put(f"{t2} = {t}[{i}]")
+        return t2
+
+    # -- invocations -----------------------------------------------------
+
+    def _target_of(self, expr):
+        if not hasattr(expr, "target"):
+            try:
+                static_type_of(expr)
+            except Exception as error:
+                raise CodegenError(str(error)) from None
+        return expr.target
+
+    def _expr_invocation(self, expr) -> str:
+        kind, payload, method = self._target_of(expr)
+        if kind == "instance":
+            if method.is_static:
+                # Instance-qualified static call: no dispatch.
+                return self._static_call(method, expr.args,
+                                         recv_expr=payload,
+                                         null_check=True)
+            return self._virtual_call(method, expr.args,
+                                      recv_expr=payload, null_check=True)
+        if kind == "this":
+            if method.is_static:
+                return self._static_call(method, expr.args,
+                                         recv_atom="v_this")
+            return self._virtual_call(method, expr.args,
+                                      recv_atom="v_this",
+                                      null_check=False)
+        if kind == "static":
+            return self._static_call(method, expr.args, recv_atom="None")
+        if kind == "super":
+            return self._static_call(method, expr.args,
+                                     recv_atom="v_this")
+        # ctor_call (<this>/<super>) only occurs in constructor bodies,
+        # which always run on the walker.
+        raise CodegenError(f"invocation target {kind}")
+
+    def _call_operands(self, args, recv_expr, recv_atom):
+        """Evaluate args then receiver (the walker's order), returning
+        (arg atoms, receiver atom)."""
+        thunks = [lambda a=a: self.expr(a) for a in args]
+        if recv_expr is not None:
+            thunks.append(lambda: self.expr(recv_expr))
+            atoms = self.seq(thunks)
+            return atoms[:-1], self.spill(atoms[-1])
+        atoms = self.seq(thunks)
+        return atoms, recv_atom
+
+    def _emit_direct_call(self, out, f_cell, m_cell, recv, arg_atoms):
+        """The caller-side depth guard + direct call (one depth
+        increment, like ``invoke_exact``)."""
+        d = self.temp()
+        self.put(f"{d} = interp._call_depth")
+        self.put(f"if {d} >= interp.max_call_depth: "
+                 f"_ovf(interp, {m_cell})")
+        self.put(f"interp._call_depth = {d} + 1")
+        self.put("try:")
+        call_args = ", ".join(["interp", recv] + list(arg_atoms))
+        self.put(f"    {out} = {f_cell}({call_args})")
+        self.put("finally:")
+        self.put(f"    interp._call_depth = {d}")
+
+    def _virtual_call(self, method, args, recv_expr=None, recv_atom=None,
+                      null_check=True) -> str:
+        arg_atoms, recv = self._call_operands(args, recv_expr, recv_atom)
+        index = self.site("call", method, _descr_of_method(method))
+        mname = method.name
+        r = self.spill(recv)
+        t = self.temp()
+        tup = ", ".join(arg_atoms) + ("," if len(arg_atoms) == 1 else "")
+        if null_check:
+            self.put(f"if {r} is None: raise interp.throw("
+                     f"'java.lang.NullPointerException', {mname!r})")
+            self.put("_MC.value += 1")
+        else:
+            # A this-call may legally see a None receiver (static
+            # contexts): the walker skips dispatch and calls exactly.
+            self.put(f"if {r} is None:")
+            self.indent += 1
+            self.put("_MC.value += 1")
+            self.put(f"{t} = interp.invoke_exact(_s{index}_m0, {r}, "
+                     f"[{', '.join(arg_atoms)}])")
+            self.indent -= 1
+            self.put("else:")
+            self.indent += 1
+            self.put("_MC.value += 1")
+        k = self.temp()
+        self.put(f"{k} = {r}.class_type if type({r}) is _JO "
+                 f"else interp._class_of_value({r})")
+        self.put(f"if {k} is _s{index}_k:")
+        self.indent += 1
+        self._emit_direct_call(t, f"_s{index}_f", f"_s{index}_m",
+                               r, arg_atoms)
+        self.indent -= 1
+        self.put("else:")
+        self.put(f"    {t} = _s{index}_d(interp, {r}, {k}, ({tup}))")
+        if not null_check:
+            self.indent -= 1
+            # The static target constant for the None-receiver branch.
+            km = self.const(method, _descr_of_method(method))
+            # Alias it under the name the branch above used.
+            self._alias_const(km, f"_s{index}_m0")
+        return t
+
+    def _alias_const(self, existing: str, alias: str) -> None:
+        for i, (name, value, descr) in enumerate(self.consts):
+            if name == existing:
+                self.consts[i] = (alias, value, descr)
+                self._atomic.add(alias)
+                return
+        raise CodegenError("alias target missing")
+
+    def _static_call(self, method, args, recv_expr=None, recv_atom=None,
+                     null_check=False) -> str:
+        arg_atoms, recv = self._call_operands(args, recv_expr, recv_atom)
+        index = self.site("scall", method, _descr_of_method(method))
+        if null_check:
+            r = self.spill(recv)
+            self.put(f"if {r} is None: raise interp.throw("
+                     f"'java.lang.NullPointerException', {method.name!r})")
+            recv = r
+        self.put("_MC.value += 1")
+        t = self.temp()
+        tup = ", ".join(arg_atoms) + ("," if len(arg_atoms) == 1 else "")
+        self.put(f"if _s{index}_f is not None:")
+        self.indent += 1
+        self._emit_direct_call(t, f"_s{index}_f", f"_s{index}_m",
+                               recv, arg_atoms)
+        self.indent -= 1
+        self.put("else:")
+        self.put(f"    {t} = _s{index}_g(interp, {recv}, ({tup}))")
+        return t
+
+    def _expr_new_object(self, expr) -> str:
+        _, klass, ctor = self._target_of(expr)
+        arg_atoms = self.seq(
+            [lambda a=a: self.expr(a) for a in expr.args])
+        kk = self.const(klass, _descr_of_type(klass))
+        kc = self.const(ctor, _descr_of_method(ctor))
+        t = self.temp()
+        self.put(f"{t} = interp.construct({kk}, {kc}, "
+                 f"[{', '.join(arg_atoms)}])")
+        return t
+
+    def _expr_new_array(self, expr) -> str:
+        if expr.scope is None:
+            raise CodegenError("unscoped new array")
+        element = resolve_type_name(expr.element_type, expr.scope)
+        if expr.initializer is not None:
+            total_dims = max(len(expr.dim_exprs) + expr.extra_dims, 1)
+            return self.array_init(expr.initializer,
+                                   array_of(element, total_dims))
+        dim_atoms = self.seq(
+            [lambda d=d: self.expr(d) for d in expr.dim_exprs])
+        ke = self.const(element, _descr_of_type(element))
+        t = self.temp()
+        self.put(f"{t} = interp._allocate({ke}, "
+                 f"[{', '.join(dim_atoms)}], {expr.extra_dims})")
+        return t
+
+    # -- operators -------------------------------------------------------
+
+    def _expr_unary(self, expr) -> str:
+        op = expr.op
+        if op in ("++", "--"):
+            return self._compile_incr(expr.operand, op, prefix=True)
+        operand = self.expr(expr.operand)
+        stype = getattr(expr.operand, "_static_type", None)
+        numeric = _is_numeric_type(stype)
+        if op == "!":
+            return f"(not {operand})"
+        if op == "-":
+            if numeric:
+                return f"(-{operand})"
+            t = self.temp()
+            self.put(f"{t} = -_num({operand})")
+            return t
+        if op == "+":
+            if numeric:
+                return operand
+            t = self.temp()
+            self.put(f"{t} = _num({operand})")
+            return t
+        if op == "~":
+            if numeric:
+                return f"(~{operand})"
+            t = self.temp()
+            self.put(f"{t} = ~_num({operand})")
+            return t
+        raise CodegenError(f"unary {op}")
+
+    def _expr_postfix(self, expr) -> str:
+        return self._compile_incr(expr.operand, expr.op, prefix=False)
+
+    def _compile_incr(self, lvalue, op, prefix: bool) -> str:
+        store = self.store(lvalue)
+        delta = "+ 1" if op == "++" else "- 1"
+        stype = getattr(lvalue, "_static_type", None)
+        old = self.spill(self.expr(lvalue))
+        if not _is_numeric_type(stype):
+            t = self.temp()
+            self.put(f"{t} = _num({old})")
+            old = t
+        new = self.temp()
+        self.put(f"{new} = {old} {delta}")
+        store(new)
+        return new if prefix else old
+
+    def _expr_binary(self, expr) -> str:
+        op = expr.op
+        lt = getattr(expr.left, "_static_type", None)
+        rt = getattr(expr.right, "_static_type", None)
+        both_int = _is_int_type(lt) and _is_int_type(rt)
+        both_numeric = _is_numeric_type(lt) and _is_numeric_type(rt)
+        both_boolean = lt is BOOLEAN and rt is BOOLEAN
+
+        # Literal folding: int-literal operands with direct semantics.
+        if isinstance(expr.left, n.Literal) and \
+                isinstance(expr.right, n.Literal) and \
+                expr.left.kind in ("int", "long") and \
+                expr.right.kind in ("int", "long"):
+            folded = _FOLDABLE.get(op)
+            if folded is not None:
+                return self.literal_atom(
+                    folded(expr.left.value, expr.right.value))
+
+        if op in ("&&", "||"):
+            return self._short_circuit(expr, op, both_boolean)
+
+        left, right = self.operands(expr.left, expr.right)
+
+        if op == "+":
+            stype = getattr(expr, "_static_type", None)
+            if _is_string_type(stype):
+                t = self.temp()
+                self.put(f"{t} = _jstr({left}) + _jstr({right})")
+                return t
+            if stype is not None:
+                if both_numeric:
+                    return f"({left} + {right})"
+                t = self.temp()
+                self.put(f"{t} = _num({left}) + _num({right})")
+                return t
+            t = self.temp()
+            self.put(f"{t} = _bop(interp, '+', {left}, {right})")
+            return t
+
+        if op in ("==", "!="):
+            if both_numeric:
+                return f"({left} {op} {right})"
+            t = self.temp()
+            invert = "" if op == "==" else "not "
+            self.put(f"{t} = {invert}_jeq({left}, {right})")
+            return t
+
+        if both_numeric and op in ("<", ">", "<=", ">=", "-", "*"):
+            return f"({left} {op} {right})"
+
+        if both_int and op in ("/", "%"):
+            a = self.spill(left)
+            b = self.spill(right)
+            t = self.temp()
+            self.put(f"if {b} == 0: raise interp.throw("
+                     f"'java.lang.ArithmeticException', '{op} by zero')")
+            self.put(f"{t} = abs({a}) // abs({b})")
+            if op == "/":
+                self.put(f"if ({a} >= 0) != ({b} >= 0): {t} = -{t}")
+                return t
+            self.put(f"if ({a} >= 0) != ({b} >= 0): {t} = -{t}")
+            t2 = self.temp()
+            self.put(f"{t2} = {a} - {t} * {b}")
+            return t2
+
+        if both_boolean and op in ("&", "|", "^"):
+            if op == "&":
+                return f"({left} and {right})"
+            if op == "|":
+                return f"({left} or {right})"
+            return f"({left} != {right})"
+
+        t = self.temp()
+        self.put(f"{t} = _bop(interp, {op!r}, {left}, {right})")
+        return t
+
+    def _short_circuit(self, expr, op, both_boolean) -> str:
+        left = self.expr(expr.left)
+        right, right_lines = self.subcompile(expr.right, 1)
+        if not right_lines:
+            if both_boolean:
+                word = "and" if op == "&&" else "or"
+                return f"({left} {word} {right})"
+            word = "and" if op == "&&" else "or"
+            return f"(bool({left}) {word} bool({right}))"
+        t = self.temp()
+        if both_boolean:
+            self.put(f"{t} = {left}")
+            self.put(f"if {t}:" if op == "&&" else f"if not {t}:")
+        else:
+            self.put(f"{t} = bool({left})")
+            self.put(f"if {t}:" if op == "&&" else f"if not {t}:")
+        self.splice(right_lines)
+        self.indent += 1
+        if both_boolean:
+            self.put(f"{t} = {right}")
+        else:
+            self.put(f"{t} = bool({right})")
+        self.indent -= 1
+        return t
+
+    def _expr_instanceof(self, expr) -> str:
+        if expr.scope is None:
+            raise CodegenError("unscoped instanceof")
+        target = resolve_type_name(expr.type_name, expr.scope)
+        value = self.expr(expr.expr)
+        index = self.site("instanceof", target, _descr_of_type(target))
+        t = self.temp()
+        self.put(f"{t} = _s{index}(interp, {value})")
+        return t
+
+    def _expr_cast(self, expr) -> str:
+        if expr.scope is None:
+            raise CodegenError("unscoped cast")
+        target = resolve_type_name(expr.type_name, expr.scope)
+        value = self.expr(expr.expr)
+        if isinstance(target, PrimitiveType):
+            kt = self.const(target, _descr_of_type(target))
+            t = self.temp()
+            self.put(f"{t} = _pcast({value}, {kt})")
+            return t
+        index = self.site("cast", target, _descr_of_type(target))
+        t = self.temp()
+        self.put(f"{t} = _s{index}(interp, {value})")
+        return t
+
+    def _expr_assignment(self, expr) -> str:
+        store = self.store(expr.lhs)
+        if expr.op == "=":
+            value = self.spill(self.expr(expr.value))
+            store(value)
+            return value
+        op = expr.op[:-1]
+        # Compound assignment mirrors the walker exactly: the lhs is
+        # read once, the combine always goes through the generic
+        # operator, and the store re-evaluates the receiver.
+        current, value = self.seq([
+            lambda: self.expr(expr.lhs),
+            lambda: self.expr(expr.value),
+        ])
+        t = self.temp()
+        self.put(f"{t} = _bop(interp, {op!r}, {current}, {value})")
+        store(t)
+        return t
+
+    def _expr_conditional(self, expr) -> str:
+        cond = self.expr(expr.cond)
+        then_atom, then_lines = self.subcompile(expr.then_expr, 1)
+        else_atom, else_lines = self.subcompile(expr.else_expr, 1)
+        if not then_lines and not else_lines:
+            return f"(({then_atom}) if ({cond}) else ({else_atom}))"
+        t = self.temp()
+        self.put(f"if {cond}:")
+        self.splice(then_lines)
+        self.indent += 1
+        self.put(f"{t} = {then_atom}")
+        self.indent -= 1
+        self.put("else:")
+        self.splice(else_lines)
+        self.indent += 1
+        self.put(f"{t} = {else_atom}")
+        self.indent -= 1
+        return t
+
+    # -- lvalue stores ---------------------------------------------------
+
+    def store(self, lhs):
+        """Compile an lvalue into ``emit(value_atom)`` — called *after*
+        the value is evaluated, so receiver evaluation order matches
+        the walker's store closures."""
+        if isinstance(lhs, n.ParenExpr):
+            return self.store(lhs.inner)
+        if isinstance(lhs, n.NameExpr):
+            return self._store_name(lhs)
+        if isinstance(lhs, n.FieldAccess):
+            return self._store_field_access(lhs)
+        if isinstance(lhs, n.ArrayAccess):
+            return self._store_array_access(lhs)
+        if isinstance(lhs, n.Reference):
+            binding = lhs.binding
+            name = getattr(binding, "name", binding)
+            if isinstance(name, n.Ident):
+                name = name.name
+            if not isinstance(name, str):
+                raise CodegenError("reference binding shape")
+            pname = self.pyname(name)
+            return lambda value: self.put(f"{pname} = {value}")
+        raise CodegenError(f"assignment target {type(lhs).__name__}")
+
+    def _store_name(self, lhs):
+        kind, payload, fields = self._resolve(lhs)
+        if kind == "local" and not fields:
+            pname = self.pyname(payload.name)
+            return lambda value: self.put(f"{pname} = {value}")
+        if kind == "local":
+            pname = self.pyname(payload.name)
+            name = payload.name
+            mids, last = fields[:-1], fields[-1]
+
+            def emit(value):
+                t = self.temp()
+                self.put("try:")
+                self.put(f"    {t} = {pname}")
+                self.put("except (UnboundLocalError, NameError):")
+                self.put(f"    raise KeyError({name!r}) from None")
+                self._store_chain(t, mids, last, value)
+            return emit
+        if kind == "this_field":
+            mids, last = fields[:-1], fields[-1]
+            return lambda value: self._store_chain("v_this", mids, last,
+                                                   value)
+        if kind == "static":
+            if len(fields) == 1:
+                field = fields[0]
+                key = (field.declaring_class.name, field.name)
+
+                def emit(value):
+                    self.put("_FW.value += 1")
+                    self.put(f"interp.statics[{key!r}] = {value}")
+                return emit
+            first, mids, last = fields[0], fields[1:-1], fields[-1]
+            kp = self.const(payload, _descr_of_type(payload))
+            kf = self.const(first, _descr_of_field(first))
+
+            def emit(value):
+                t = self.temp()
+                self.put(f"{t} = interp._read_static({kp}, {kf})")
+                self._store_chain(t, mids, last, value)
+            return emit
+        raise CodegenError(f"cannot assign to {lhs}")
+
+    def _store_chain(self, target: str, mids, last, value: str) -> None:
+        for field in mids:
+            kf = self.const(field, _descr_of_field(field))
+            t = self.temp()
+            self.put(f"{t} = interp._read_field({target}, {kf})")
+            target = t
+        kl = self.const(last, _descr_of_field(last))
+        self.put(f"interp._write_field({target}, {kl}, {value})")
+
+    def _store_field_access(self, lhs):
+        field = getattr(lhs, "field", None)
+        if field is not None:
+            kf = self.const(field, _descr_of_field(field))
+
+            def emit(value):
+                recv = self.expr(lhs.receiver)
+                self.put(f"interp._write_field({recv}, {kf}, {value})")
+            return emit
+        index = self.site("sfield", lhs.name, lhs.name)
+
+        def emit(value):
+            recv = self.expr(lhs.receiver)
+            self.put(f"_s{index}(interp, {recv}, {value})")
+        return emit
+
+    def _store_array_access(self, lhs):
+        def emit(value):
+            arr, idx = self.operands(lhs.array, lhs.index)
+            a = self.spill(arr)
+            i = self.spill(idx)
+            self.put("_AW.value += 1")
+            self.put(f"if {a} is None: raise interp.throw("
+                     f"'java.lang.NullPointerException', None)")
+            t = self.temp()
+            self.put(f"{t} = {a}.values")
+            self.put(f"if {i} < 0 or {i} >= len({t}): "
+                     f"raise interp.throw("
+                     f"'java.lang.IndexOutOfBoundsException', str({i}))")
+            self.put(f"{t}[{i}] = {value}")
+        return emit
+
+
+_STMT_HANDLERS = {
+    "lazy_node": _MethodGen._stmt_lazy,
+    "empty_stmt": _MethodGen._stmt_empty,
+    "block": _MethodGen._stmt_block,
+    "use_stmt": _MethodGen._stmt_use,
+    "expr_stmt": _MethodGen._stmt_expr,
+    "local_var_decl": _MethodGen._stmt_local_var,
+    "if_stmt": _MethodGen._stmt_if,
+    "while_stmt": _MethodGen._stmt_while,
+    "do_stmt": _MethodGen._stmt_do,
+    "for_stmt": _MethodGen._stmt_for,
+    "return_stmt": _MethodGen._stmt_return,
+    "throw_stmt": _MethodGen._stmt_throw,
+    "break_stmt": _MethodGen._stmt_break,
+    "continue_stmt": _MethodGen._stmt_continue,
+    "try_stmt": _MethodGen._stmt_try,
+}
+
+_EXPR_HANDLERS = {
+    "literal": _MethodGen._expr_literal,
+    "name_expr": _MethodGen._expr_name,
+    "reference": _MethodGen._expr_reference,
+    "this_expr": _MethodGen._expr_this,
+    "paren_expr": _MethodGen._expr_paren,
+    "field_access": _MethodGen._expr_field_access,
+    "array_access": _MethodGen._expr_array_access,
+    "method_invocation": _MethodGen._expr_invocation,
+    "new_object": _MethodGen._expr_new_object,
+    "new_array": _MethodGen._expr_new_array,
+    "unary_expr": _MethodGen._expr_unary,
+    "postfix_expr": _MethodGen._expr_postfix,
+    "binary_expr": _MethodGen._expr_binary,
+    "instanceof_expr": _MethodGen._expr_instanceof,
+    "cast_expr": _MethodGen._expr_cast,
+    "assignment": _MethodGen._expr_assignment,
+    "conditional_expr": _MethodGen._expr_conditional,
+}

@@ -10,11 +10,17 @@ Options:
     --use NAME        import a metaprogram compiler-wide (repeatable;
                       the paper's -use option)
     --run CLASS       interpret CLASS.main() after compiling
-    --backend walk|closure
+    --backend walk|closure|pycode
                       execution backend for --run: the seed tree-walker
-                      (default) or the closure compiler with slot
-                      frames and inline caches; also settable via the
-                      MAYA_BACKEND environment variable
+                      (default), the closure compiler with slot frames
+                      and inline caches, or the pycode backend that
+                      generates Python source with specialized call
+                      sites; also settable via the MAYA_BACKEND
+                      environment variable
+    --dump-codegen [METHOD]
+                      print the pycode backend's generated Python
+                      source (optionally only for methods whose
+                      qualified label contains METHOD, e.g. Demo.main)
     --expand          print the expanded (plain Java) source
     --no-macros       do not register the maya.util library
     --multijava       register the MultiJava extension
@@ -95,10 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="import a metaprogram compiler-wide")
     parser.add_argument("--run", metavar="CLASS",
                         help="run CLASS.main() after compiling")
-    parser.add_argument("--backend", choices=("walk", "closure"),
+    parser.add_argument("--backend", choices=("walk", "closure", "pycode"),
                         default=None,
                         help="execution backend for --run (default: "
                              "MAYA_BACKEND or walk)")
+    parser.add_argument("--dump-codegen", nargs="?", const="",
+                        default=None, metavar="METHOD",
+                        help="print the pycode backend's generated "
+                             "Python source (optionally filtered to "
+                             "methods whose label contains METHOD)")
     parser.add_argument("--expand", action="store_true",
                         help="print the expanded source")
     parser.add_argument("--no-macros", action="store_true",
@@ -315,6 +326,7 @@ def main(argv=None) -> int:
     if args.expand and program is not None:
         print(program.source(provenance=args.provenance))
 
+    interp = None
     if args.run and program is not None:
         interp = Interpreter(program, echo=True, backend=args.backend)
         try:
@@ -326,7 +338,44 @@ def main(argv=None) -> int:
         except Exception as error:
             print(f"mayac: runtime error: {error}", file=sys.stderr)
             return finish(2)
+
+    if args.dump_codegen is not None and program is not None:
+        if not _dump_codegen(program, interp, args.dump_codegen):
+            return finish(1)
     return finish(0)
+
+
+def _dump_codegen(program, interp, pattern: str) -> bool:
+    """Print the pycode backend's generated Python source for every
+    compiled method (optionally filtered by a label substring).  Methods
+    the codegen declines are listed as walker-fallback comments.  False
+    when a filter was given and matched nothing."""
+    from repro.interp import pycodegen
+
+    if interp is None or interp.backend != "pycode":
+        interp = Interpreter(program, backend="pycode")
+    matched = 0
+    for compiled in program.classes.values():
+        methods = [m for overloads in compiled.type.methods.values()
+                   for m in overloads]
+        methods.extend(compiled.type.constructors)
+        for method in methods:
+            label = pycodegen.method_label(method)
+            if pattern and pattern not in label:
+                continue
+            matched += 1
+            plan = pycodegen.plan_for(method, interp)
+            print(f"# === {label} ===")
+            if plan is pycodegen.FALLBACK:
+                print("# (no generated code: runs on the walker)")
+            else:
+                print(plan.source.rstrip())
+            print()
+    if pattern and not matched:
+        print(f"mayac: --dump-codegen: no method matches {pattern!r}",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def cli(argv=None) -> int:

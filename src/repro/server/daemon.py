@@ -30,12 +30,20 @@ daemon):
   replaced, so capacity cannot wedge behind a hung compile;
 * **cache hygiene** — shared caches hand off immutable epoch-stamped
   snapshots (:mod:`repro.server.state`); corrupt on-disk table-cache
-  entries are quarantined and regenerated (:mod:`repro.lalr.tables`).
+  entries are quarantined and regenerated (:mod:`repro.lalr.tables`),
+  and the workers' shared on-disk pycode codegen cache applies the
+  same quarantine-on-corrupt ladder (:mod:`repro.interp.pycodegen`).
+
+Compile requests may also carry a ``run`` option naming a class whose
+``main()`` is interpreted in the worker after a successful compile
+(pycode backend by default, so repeat runs across workers reuse the
+shared codegen cache); captured output rides back on the response.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import queue as queue_mod
 import socket
 import threading
@@ -96,7 +104,8 @@ class DaemonConfig:
                  queue_size: int = 16, default_deadline_s: float = 30.0,
                  max_deadline_s: float = 120.0, fuel_cap: int = 1024,
                  max_errors_cap: int = 200,
-                 artifact_cache_size: int = 256, prewarm: bool = True):
+                 artifact_cache_size: int = 256, prewarm: bool = True,
+                 codegen_cache_dir: Optional[str] = None):
         self.host = host
         self.port = port
         self.socket_path = socket_path
@@ -108,6 +117,12 @@ class DaemonConfig:
         self.max_errors_cap = max_errors_cap
         self.artifact_cache_size = artifact_cache_size
         self.prewarm = prewarm
+        #: Every worker links generated pycode plans through this shared
+        #: on-disk cache (same quarantine-on-corrupt discipline as the
+        #: LALR table cache); defaults to MAYA_CODEGEN_CACHE.
+        self.codegen_cache_dir = (codegen_cache_dir
+                                  or os.environ.get("MAYA_CODEGEN_CACHE")
+                                  or None)
 
 
 class _Request:
@@ -194,6 +209,10 @@ class MayaDaemon:
         self._listener.listen(64)
         self._running = True
         self._started_at = time.monotonic()
+        if self.config.codegen_cache_dir:
+            from repro.interp import pycodegen
+
+            pycodegen.enable_codegen_cache(self.config.codegen_cache_dir)
         if self.config.prewarm:
             self.prewarm_s = state.prewarm()
         with self._pool_lock:
@@ -475,7 +494,40 @@ class MayaDaemon:
         if options.get("expand"):
             response["expanded"] = program.source(
                 provenance=bool(options.get("provenance")))
+        if options.get("run"):
+            response["run"] = self._run_program(program, options)
         return response
+
+    @staticmethod
+    def _run_program(program, options: dict) -> dict:
+        """Interpret ``options['run']``.main() in this worker.
+
+        Defaults to the pycode backend so repeat runs — on any worker —
+        link plans out of the shared on-disk codegen cache instead of
+        regenerating them.  Failures are *this request's* problem: they
+        ride back under the ``run`` key, never as a compile error."""
+        from repro.interp import Interpreter, JavaThrow
+
+        cls = str(options.get("run"))
+        backend = str(options.get("backend") or "pycode")
+        run_started = time.perf_counter()
+        try:
+            interp = Interpreter(program, backend=backend)
+        except Exception as error:
+            return {"class": cls, "error": str(error), "output": []}
+        result: dict = {"class": cls, "output": interp.output}
+        try:
+            value = interp.run_static(cls)
+            if isinstance(value, (bool, int, float, str, type(None))):
+                result["value"] = value
+        except JavaThrow as thrown:
+            result["error"] = str(thrown)
+            result["thrown"] = thrown.value.class_type.name
+        except Exception as error:
+            result["error"] = str(error)
+        result["run_ms"] = round(
+            (time.perf_counter() - run_started) * 1000.0, 3)
+        return result
 
     @staticmethod
     def _deadline_response(request: _Request) -> dict:

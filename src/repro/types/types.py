@@ -23,10 +23,23 @@ class TypeError_(DiagnosticError):
 #: for its import epoch.
 MEMBER_EPOCH = 0
 
+#: Callbacks fired after every member-epoch bump.  Epoch *checking*
+#: alone is not enough for the pycode backend: its specialized call
+#: sites jump directly between generated functions without going back
+#: through plan lookup, so intercession must eagerly unpatch them.
+_EPOCH_LISTENERS: List[Callable[[int], None]] = []
+
+
+def on_member_epoch_bump(listener: Callable[[int], None]) -> None:
+    """Register a callback invoked (with the new epoch) on every bump."""
+    _EPOCH_LISTENERS.append(listener)
+
 
 def bump_member_epoch() -> int:
     global MEMBER_EPOCH
     MEMBER_EPOCH += 1
+    for listener in _EPOCH_LISTENERS:
+        listener(MEMBER_EPOCH)
     return MEMBER_EPOCH
 
 

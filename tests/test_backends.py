@@ -1,11 +1,14 @@
-"""Differential tests for the two execution backends.
+"""Differential tests for the three execution backends.
 
-The closure backend (slot frames + inline caches) must be observably
-identical to the seed tree-walker: same stdout, same operation-counter
-snapshots (step equivalence), and the same thrown ``JavaThrow``
-classes.  Every shipped example runs under both backends, plus targeted
-programs covering the ``_virtual_lookup`` shadowing edges and inline
-cache transitions the compiled code must preserve.
+The closure backend (slot frames + inline caches) and the pycode
+backend (generated Python source with specialized call sites) must be
+observably identical to the seed tree-walker: same stdout, same
+operation-counter snapshots (step equivalence), and the same thrown
+``JavaThrow`` classes.  Every shipped example runs under every backend,
+plus targeted programs covering the ``_virtual_lookup`` shadowing
+edges, inline cache transitions, and the pycode backend's
+deoptimization paths (guard failures must be invisible apart from the
+deopt counter).
 """
 
 import json
@@ -15,32 +18,38 @@ import pytest
 
 from repro.core import MayaError
 from repro.interp import Interpreter, JavaThrow, StepLimitExceeded
-from repro.interp import closures
+from repro.interp import closures, pycodegen
 from repro.mayac import main as mayac_main
 from repro.obs.metrics import REGISTRY
 
 from tests.conftest import compile_source
 from tests.test_examples import EXAMPLES_DIR, HELLO, SCRIPTS, run_example
 
+BACKENDS = ("walk", "closure", "pycode")
 
-def run_both(source, cls="Demo", macros=False, multijava=False, args=()):
-    """Run ``cls.main()`` under both backends; return per-backend
+
+def run_all(source, cls="Demo", macros=False, multijava=False, args=()):
+    """Run ``cls.main()`` under every backend; return per-backend
     (return value, output lines, counter snapshot)."""
     program = compile_source(source, macros, multijava)
     results = {}
-    for backend in ("walk", "closure"):
+    for backend in BACKENDS:
         interp = Interpreter(program, backend=backend)
         value = interp.run_static(cls, args=args)
         results[backend] = (value, interp.output,
                             interp.counters.snapshot())
-    return results["walk"], results["closure"]
+    return results
 
 
 def assert_equivalent(source, cls="Demo", macros=False, multijava=False):
-    walk, closure = run_both(source, cls, macros, multijava)
-    assert walk[0] == closure[0], "return values differ"
-    assert walk[1] == closure[1], "stdout differs"
-    assert walk[2] == closure[2], "operation counters differ"
+    results = run_all(source, cls, macros, multijava)
+    walk = results["walk"]
+    for backend in BACKENDS[1:]:
+        other = results[backend]
+        assert walk[0] == other[0], f"return values differ ({backend})"
+        assert walk[1] == other[1], f"stdout differs ({backend})"
+        assert walk[2] == other[2], \
+            f"operation counters differ ({backend})"
     return walk
 
 
@@ -58,11 +67,12 @@ class TestBackendSelection:
         assert Interpreter(program).backend == "walk"
 
     def test_env_var_selects_backend(self, monkeypatch):
-        monkeypatch.setenv("MAYA_BACKEND", "closure")
-        program = compile_source(self.SRC)
-        interp = Interpreter(program)
-        assert interp.backend == "closure"
-        assert interp.run_static("Demo") == 42
+        for backend in ("closure", "pycode"):
+            monkeypatch.setenv("MAYA_BACKEND", backend)
+            program = compile_source(self.SRC)
+            interp = Interpreter(program)
+            assert interp.backend == backend
+            assert interp.run_static("Demo") == 42
 
     def test_explicit_beats_env(self, monkeypatch):
         monkeypatch.setenv("MAYA_BACKEND", "closure")
@@ -79,12 +89,13 @@ class TestBackendSelection:
         src.write_text("class Demo { static void main() "
                        "{ System.out.println(\"hi \" + (6 * 7)); } }")
         outputs = {}
-        for backend in ("walk", "closure"):
+        for backend in BACKENDS:
             assert mayac_main([str(src), "--run", "Demo",
                                "--backend", backend]) == 0
             outputs[backend] = capsys.readouterr().out
-        assert outputs["walk"] == outputs["closure"]
-        assert "hi 42" in outputs["closure"]
+        for backend in BACKENDS[1:]:
+            assert outputs["walk"] == outputs[backend]
+        assert "hi 42" in outputs["pycode"]
 
 
 # ---------------------------------------------------------------------------
@@ -362,13 +373,14 @@ class TestThrowParity:
     def test_same_java_throw_class(self, expected, source):
         program = compile_source(source)
         thrown = {}
-        for backend in ("walk", "closure"):
+        for backend in BACKENDS:
             interp = Interpreter(program, backend=backend)
             with pytest.raises(JavaThrow) as exc:
                 interp.run_static("Demo")
             thrown[backend] = (exc.value.value.class_type.name,
                                exc.value.value.fields.get("message"))
-        assert thrown["walk"] == thrown["closure"]
+        for backend in BACKENDS[1:]:
+            assert thrown["walk"] == thrown[backend]
         assert thrown["walk"][0] == expected
 
     def test_step_limit_parity(self):
@@ -378,7 +390,7 @@ class TestThrowParity:
             }
         """
         program = compile_source(source)
-        for backend in ("walk", "closure"):
+        for backend in BACKENDS:
             interp = Interpreter(program, backend=backend,
                                  max_steps=500)
             with pytest.raises(StepLimitExceeded, match="step budget"):
@@ -393,13 +405,14 @@ class TestThrowParity:
         """
         program = compile_source(source)
         messages = {}
-        for backend in ("walk", "closure"):
+        for backend in BACKENDS:
             interp = Interpreter(program, backend=backend,
                                  max_call_depth=50)
             with pytest.raises(Exception) as exc:
                 interp.run_static("Demo")
             messages[backend] = str(exc.value)
-        assert messages["walk"] == messages["closure"]
+        for backend in BACKENDS[1:]:
+            assert messages["walk"] == messages[backend]
         assert "Java stack overflow" in messages["walk"]
 
 
@@ -713,35 +726,37 @@ class TestDeclaredLocals:
 
 
 # ---------------------------------------------------------------------------
-# Every shipped example under both backends
+# Every shipped example under every backend
 # ---------------------------------------------------------------------------
 
 
-class TestExamplesUnderBothBackends:
+class TestExamplesUnderAllBackends:
     @pytest.mark.parametrize("name", SCRIPTS)
     def test_example_script_identical_stdout(self, name, capsys,
                                              monkeypatch):
         from repro.hygiene import reset_fresh_names
 
         outputs = {}
-        for backend in ("walk", "closure"):
+        for backend in BACKENDS:
             # Gensym counters are process-wide; reset so the expanded
             # source some examples print is identical across the runs.
             reset_fresh_names()
             monkeypatch.setenv("MAYA_BACKEND", backend)
             run_example(name)
             outputs[backend] = capsys.readouterr().out
-        assert outputs["walk"] == outputs["closure"]
-        assert outputs["closure"].strip()
+        for backend in BACKENDS[1:]:
+            assert outputs["walk"] == outputs[backend]
+        assert outputs["pycode"].strip()
 
     def test_hello_maya_identical_stdout(self, capsys):
         outputs = {}
-        for backend in ("walk", "closure"):
+        for backend in BACKENDS:
             assert mayac_main([HELLO, "--run", "Hello",
                                "--backend", backend]) == 0
             outputs[backend] = capsys.readouterr().out
-        assert outputs["walk"] == outputs["closure"]
-        assert "hello, maya" in outputs["closure"]
+        for backend in BACKENDS[1:]:
+            assert outputs["walk"] == outputs[backend]
+        assert "hello, maya" in outputs["pycode"]
 
 
 # ---------------------------------------------------------------------------
@@ -791,10 +806,12 @@ class TestExpandedCodeUnderClosure:
                 }
             }
         """
-        walk, closure = run_both(source, multijava=True)
-        assert walk[1] == closure[1]
+        results = run_all(source, multijava=True)
+        walk = results["walk"]
+        for backend in BACKENDS[1:]:
+            assert walk[1] == results[backend][1]
+            assert walk[2] == results[backend][2]
         assert walk[1][:3] == ["shape", "circle", "square"]
-        assert walk[2] == closure[2]
 
 
 # ---------------------------------------------------------------------------
@@ -833,3 +850,198 @@ class TestWalkFallback:
         bump_member_epoch()
         second = closures.plan_for(method)
         assert second is not first  # recompiled under the new epoch
+
+
+# ---------------------------------------------------------------------------
+# Pycode backend: codegen metrics, deopt paths, plan invalidation
+# ---------------------------------------------------------------------------
+
+
+def _codegen_counts():
+    family = REGISTRY.get("maya_interp_codegen_total")
+    return {labels[0]: child.value for labels, child in family.samples()}
+
+
+def _deopt_count(site="call"):
+    family = REGISTRY.get("maya_interp_codegen_deopts_total")
+    return sum(child.value for labels, child in family.samples()
+               if labels[0] == site)
+
+
+POLY_SOURCE = """
+    class Base { int tag() { return 1; } }
+    class Sub extends Base { int tag() { return 2; } }
+    class Demo {
+        static int poke(Base b) { return b.tag(); }
+        static int main() {
+            Base[] xs = new Base[6];
+            for (int i = 0; i < 6; i++) {
+                if (i % 2 == 0) { xs[i] = new Base(); }
+                else { xs[i] = new Sub(); }
+            }
+            int total = 0;
+            for (int i = 0; i < 6; i++) { total += Demo.poke(xs[i]); }
+            return total;
+        }
+    }
+"""
+
+
+class TestPycodeBackend:
+    def test_pycode_actually_compiles(self):
+        # Guard against silent wholesale fallback: a plain program must
+        # produce at least one compiled plan and zero walker fallbacks.
+        program = compile_source("""
+            class Demo {
+                static int helper(int n) { return n * 2; }
+                static int main() { return Demo.helper(21); }
+            }
+        """)
+        before = _codegen_counts()
+        interp = Interpreter(program, backend="pycode")
+        assert interp.run_static("Demo") == 42
+        after = _codegen_counts()
+        compiled = after.get("compiled", 0) - before.get("compiled", 0)
+        fallback = after.get("fallback", 0) - before.get("fallback", 0)
+        assert compiled >= 2  # main + helper
+        assert fallback == 0
+
+    def test_guard_failure_deopts_and_preserves_semantics(self):
+        # A monomorphic-patched site that later sees a second receiver
+        # class must deopt (counter bumps) with identical observables.
+        walk = assert_equivalent(POLY_SOURCE)
+        assert walk[0] == 9  # 3 * Base.tag() + 3 * Sub.tag()
+        program = compile_source(POLY_SOURCE)
+        before = _deopt_count()
+        interp = Interpreter(program, backend="pycode")
+        assert interp.run_static("Demo") == 9
+        assert _deopt_count() - before >= 1
+
+    def test_megamorphic_site_unpatches_permanently(self):
+        decls = "\n".join(
+            f"class C{i} extends Base {{ int tag() {{ return {i}; }} }}"
+            for i in range(10))
+        news = "\n".join(f"xs[{i}] = new C{i}();" for i in range(10))
+        source = f"""
+            class Base {{ int tag() {{ return -1; }} }}
+            {decls}
+            class Demo {{
+                static int main() {{
+                    Base[] xs = new Base[10];
+                    {news}
+                    int total = 0;
+                    for (int round = 0; round < 3; round++) {{
+                        for (int i = 0; i < xs.length; i++) {{
+                            total += xs[i].tag();
+                        }}
+                    }}
+                    return total;
+                }}
+            }}
+        """
+        program = compile_source(source)
+        before = _deopt_count()
+        interp = Interpreter(program, backend="pycode")
+        assert interp.run_static("Demo") == 3 * sum(range(10))
+        # C0 patches the site; C1..C8 deopt until the MEGAMORPHIC
+        # threshold unpatches it for good, so rounds 2-3 add nothing.
+        delta = _deopt_count() - before
+        assert delta == closures.MEGAMORPHIC
+
+    def test_pycode_plan_reused_across_interpreters(self):
+        program = compile_source("""
+            class Demo {
+                static int main() {
+                    int t = 0;
+                    for (int i = 0; i < 5; i++) { t += i; }
+                    return t;
+                }
+            }
+        """)
+        first = Interpreter(program, backend="pycode")
+        assert first.run_static("Demo") == 10
+        baseline = _codegen_counts().get("compiled", 0)
+        second = Interpreter(program, backend="pycode")
+        assert second.run_static("Demo") == 10
+        assert _codegen_counts().get("compiled", 0) == baseline
+
+    def test_intercession_recompiles_and_unpatches_sites(self):
+        program = compile_source(POLY_SOURCE)
+        interp = Interpreter(program, backend="pycode")
+        assert interp.run_static("Demo") == 9
+        klass = program.class_named("Demo").type
+        method = next(m for m in klass.methods["poke"])
+        plan = pycodegen.plan_for(method, interp)
+        assert plan is not pycodegen.FALLBACK
+        # The b.tag() site saw Base first, so its guard cell is patched.
+        patched = [k for k in plan.ns
+                   if k.startswith("_s") and k.endswith("_k")
+                   and plan.ns[k] is not None]
+        assert patched
+        from repro.types import bump_member_epoch
+
+        bump_member_epoch()
+        # Live-plan listener unpatched every specialized site...
+        assert all(plan.ns[k] is None for k in patched)
+        # ...and the memoized plan is recompiled under the new epoch.
+        assert pycodegen.plan_for(method, interp) is not plan
+
+    def test_dump_source_is_compilable_python(self):
+        program = compile_source(POLY_SOURCE)
+        interp = Interpreter(program, backend="pycode")
+        interp.run_static("Demo")
+        klass = program.class_named("Demo").type
+        method = next(m for m in klass.methods["main"])
+        plan = pycodegen.plan_for(method, interp)
+        assert plan is not pycodegen.FALLBACK
+        assert "def _m(interp, v_this" in plan.source
+        compile(plan.source, "<roundtrip>", "exec")
+
+
+class TestPlanCacheBound:
+    def test_registry_evicts_past_bound(self):
+        class FakeMethod:
+            pass
+
+        class Stats:
+            def __init__(self):
+                self.evictions = 0
+
+            def evict(self):
+                self.evictions += 1
+
+        stats = Stats()
+        registry = closures.PlanRegistry("_test_plan", 2, stats)
+        methods = [FakeMethod() for _ in range(3)]
+        for m in methods:
+            m._test_plan = (0, object())
+            registry.note(m)
+        assert stats.evictions == 1
+        assert not hasattr(methods[0], "_test_plan")  # LRU victim
+        assert hasattr(methods[1], "_test_plan")
+        assert hasattr(methods[2], "_test_plan")
+        assert len(registry) == 2
+
+    def test_note_refreshes_recency(self):
+        class FakeMethod:
+            pass
+
+        class Stats:
+            def __init__(self):
+                self.evictions = 0
+
+            def evict(self):
+                self.evictions += 1
+
+        stats = Stats()
+        registry = closures.PlanRegistry("_test_plan", 2, stats)
+        a, b, c = FakeMethod(), FakeMethod(), FakeMethod()
+        for m in (a, b):
+            m._test_plan = (0, object())
+            registry.note(m)
+        registry.note(a)  # refresh: b becomes the LRU victim
+        c._test_plan = (0, object())
+        registry.note(c)
+        assert not hasattr(b, "_test_plan")
+        assert hasattr(a, "_test_plan")
+        assert hasattr(c, "_test_plan")

@@ -127,6 +127,54 @@ class TestCli:
         assert "d" in capsys.readouterr().out
 
 
+class TestDumpCodegen:
+    @pytest.fixture
+    def calc_file(self, tmp_path):
+        path = tmp_path / "calc.maya"
+        path.write_text("""
+            class Calc {
+                int twice(int n) { return n * 2; }
+            }
+            class Demo {
+                static void main() {
+                    System.out.println(new Calc().twice(21));
+                }
+            }
+        """)
+        return str(path)
+
+    def test_dump_all_methods(self, calc_file, capsys):
+        assert main([calc_file, "--dump-codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "# === Demo.main() ===" in out
+        assert "# === Calc.twice(int) ===" in out
+        assert "def _m(interp, v_this" in out
+
+    def test_dump_filtered_to_one_method(self, calc_file, capsys):
+        assert main([calc_file, "--dump-codegen", "Calc.twice"]) == 0
+        out = capsys.readouterr().out
+        assert "Calc.twice(int)" in out
+        assert "Demo.main" not in out
+
+    def test_dump_unknown_method_fails(self, calc_file, capsys):
+        assert main([calc_file, "--dump-codegen", "NoSuch.method"]) == 1
+        captured = capsys.readouterr()
+        assert "no method matches 'NoSuch.method'" in captured.err
+
+    def test_dump_source_is_valid_python(self, calc_file, capsys):
+        assert main([calc_file, "--dump-codegen", "Demo.main"]) == 0
+        out = capsys.readouterr().out
+        body = out.split("===\n", 1)[1]
+        compile(body, "<dump>", "exec")
+
+    def test_dump_composes_with_run(self, calc_file, capsys):
+        assert main([calc_file, "--run", "Demo", "--backend", "pycode",
+                     "--dump-codegen", "Demo.main"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("42\n")
+        assert "# === Demo.main() ===" in out
+
+
 class TestUnixExitConventions:
     """``cli`` is ``main`` plus signal/pipe hygiene: Ctrl-C exits 130
     and a vanished reader exits 0 — never with a Python traceback."""

@@ -161,6 +161,33 @@ class TestCompileService:
         assert without["status"] == "ok"
         assert "cached" not in without  # different options, different key
 
+    def test_run_option_interprets_in_worker(self, client):
+        response = client.compile("""
+            class Calc { static int twice(int n) { return n * 2; } }
+            class Demo {
+                static void main() {
+                    System.out.println(Calc.twice(21));
+                }
+            }
+        """, "run.maya", cache=False, run="Demo")
+        assert response["status"] == "ok"
+        run = response["run"]
+        assert run["class"] == "Demo"
+        assert run["output"] == ["42"]
+        assert run["run_ms"] >= 0
+        assert "error" not in run
+
+    def test_run_option_reports_java_throw(self, client):
+        response = client.compile("""
+            class Demo {
+                static void main() { throw new RuntimeException("sad"); }
+            }
+        """, "throw.maya", cache=False, run="Demo")
+        assert response["status"] == "ok"  # the *compile* succeeded
+        run = response["run"]
+        assert run["thrown"] == "java.lang.RuntimeException"
+        assert "sad" in run["error"]
+
     def test_concurrent_compiles(self, client):
         results = [None] * 12
         def go(i):

@@ -220,6 +220,100 @@ class TestCacheCorruption:
                 server.stop()
 
 
+RUN_SOURCE = """
+    class Victim {
+        static int helper(int n) { return n + 1; }
+        static void main() { System.out.println(Victim.helper(41)); }
+    }
+"""
+
+
+class TestCodegenCacheCorruption:
+    """The workers' shared on-disk pycode codegen cache applies the
+    same quarantine-on-corrupt ladder as the LALR table cache."""
+
+    def _codegen_counts(self):
+        from repro.obs.metrics import REGISTRY
+
+        family = REGISTRY.get("maya_interp_codegen_total")
+        return {labels[0]: child.value
+                for labels, child in family.samples()}
+
+    def test_corrupt_codegen_entry_is_quarantined_and_regenerated(
+            self, tmp_path):
+        from repro.interp import pycodegen
+        from repro.obs.metrics import REGISTRY
+
+        corrupt = REGISTRY.get("maya_interp_codegen_cache_corrupt_total")
+        before = corrupt.value
+        server = _daemon(codegen_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            # First run generates the plans and populates the shared
+            # disk cache (each request has fresh Method objects, so
+            # the disk entries are the only cross-request reuse).
+            first = client.compile(RUN_SOURCE, "v0.maya",
+                                   cache=False, run="Victim")
+            assert first["status"] == "ok"
+            assert first["run"]["output"] == ["42"]
+            assert any(path.name.startswith("pycode-")
+                       for path in tmp_path.iterdir())
+            # Second run links from disk — with the first load
+            # returning injected garbage.
+            faults.configure("cache.codegen.load:corrupt:times=1")
+            second = client.compile(RUN_SOURCE, "v1.maya",
+                                    cache=False, run="Victim")
+            assert second["status"] == "ok"
+            assert second["run"]["output"] == ["42"]
+        finally:
+            server.stop()
+            pycodegen.disable_codegen_cache()
+        assert corrupt.value == before + 1
+        quarantined = [path for path in tmp_path.iterdir()
+                       if path.suffix == ".quarantine"]
+        assert len(quarantined) == 1
+
+    def test_workers_share_disk_cache_across_requests(self, tmp_path):
+        from repro.interp import pycodegen
+
+        server = _daemon(codegen_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            assert client.compile(RUN_SOURCE, "v0.maya", cache=False,
+                                  run="Victim")["status"] == "ok"
+            before = self._codegen_counts()
+            assert client.compile(RUN_SOURCE, "v1.maya", cache=False,
+                                  run="Victim")["status"] == "ok"
+            after = self._codegen_counts()
+        finally:
+            server.stop()
+            pycodegen.disable_codegen_cache()
+        hits = after.get("disk_hit", 0) - before.get("disk_hit", 0)
+        fresh = after.get("compiled", 0) - before.get("compiled", 0)
+        assert hits >= 2  # main + helper linked from the shared cache
+        assert fresh == 0
+
+    def test_daemon_survives_codegen_cache_load_failure(self, tmp_path):
+        from repro.interp import pycodegen
+
+        server = _daemon(codegen_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            assert client.compile(RUN_SOURCE, "v0.maya", cache=False,
+                                  run="Victim")["status"] == "ok"
+            faults.configure("cache.codegen.load:raise")
+            response = client.compile(RUN_SOURCE, "v1.maya",
+                                      cache=False, run="Victim")
+            assert response["status"] == "ok"
+            assert response["run"]["output"] == ["42"]
+        finally:
+            server.stop()
+            pycodegen.disable_codegen_cache()
+        # An injected load failure is a plain miss, never a quarantine.
+        assert not [path for path in tmp_path.iterdir()
+                    if path.suffix == ".quarantine"]
+
+
 class TestSocketFaults:
     def test_read_fault_drops_connection_not_daemon(self):
         server = _daemon()
