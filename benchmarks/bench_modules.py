@@ -1,0 +1,129 @@
+"""Incremental recompilation measured: edit one leaf of a ≥20-module
+project and rebuild.
+
+The clean baseline compiles every module from scratch (empty cache);
+the incremental rebuild starts from a warm cache after an edit to a
+module nothing depends on, so exactly one module recompiles and the
+rest replay as class skeletons from disk.  The acceptance bar (ISSUE:
+incremental ≥ 5x clean) is asserted here, and the ratio is gated by
+``compare.py``'s higher-is-better ``*_speedup`` rule as
+``modules_incremental_speedup`` in ``BENCH_modules.json``.
+
+Both paths also assert byte-identical combined artifacts — the
+benchmark refuses to report a speedup bought with wrong output.
+"""
+
+import shutil
+import statistics
+import tempfile
+import time
+
+from conftest import record_metric, report
+
+from repro.modules import MemorySources, ModuleBuilder
+
+LAYERS = 7
+WIDTH = 3
+ROUNDS = 3
+MIN_SPEEDUP = 5.0
+
+
+def synthetic_project():
+    """A layered DAG of ``LAYERS * WIDTH`` library modules plus one
+    application root — 22 modules with WIDTH=3, LAYERS=7.
+
+    ``lib.L<i>x<j>`` imports every module of the previous layer, so the
+    dependency cone of an upper-layer edit is wide; ``app.Main`` (the
+    edit target) imports the top layer and is depended on by nothing.
+    """
+    sources = {}
+    for layer in range(LAYERS):
+        for slot in range(WIDTH):
+            name = f"lib.L{layer}x{slot}"
+            imports, terms = "", [f"{layer + slot + 1}"]
+            if layer:
+                for dep in range(WIDTH):
+                    imports += f"import lib.L{layer - 1}x{dep};\n"
+                    terms.append(f"L{layer - 1}x{dep}.value()")
+            helpers = "\n".join(
+                f"    static int h{k}(int n) {{\n"
+                f"        int total = 0;\n"
+                f"        for (int i = 0; i < n; i++) {{\n"
+                f"            if (i % {k + 2} == 0) {{ total += i; }}\n"
+                f"            else {{ total -= {k}; }}\n"
+                f"        }}\n"
+                f"        return total;\n"
+                f"    }}" for k in range(12))
+            sources[name] = (
+                f"{imports}"
+                f"class L{layer}x{slot} {{\n"
+                f"{helpers}\n"
+                f"    static int value() "
+                f"{{ return {' + '.join(terms)} + "
+                f"L{layer}x{slot}.h0(3); }}\n"
+                f"}}\n")
+    top = "".join(f"import lib.L{LAYERS - 1}x{slot};\n"
+                  for slot in range(WIDTH))
+    calls = " + ".join(f"L{LAYERS - 1}x{slot}.value()"
+                       for slot in range(WIDTH))
+    sources["app.Main"] = (
+        f"{top}class Main {{ static void main() "
+        f"{{ System.out.println({calls}); }} }}\n")
+    return sources
+
+
+def build_ms(sources, cache_dir):
+    started = time.perf_counter()
+    result = ModuleBuilder(MemorySources(sources),
+                           cache_dir=cache_dir).build(["app.Main"])
+    return (time.perf_counter() - started) * 1000.0, result
+
+
+def test_incremental_rebuild_speedup():
+    sources = synthetic_project()
+    clean_ms, incremental_ms = [], []
+    scratch = tempfile.mkdtemp(prefix="bench-modules-")
+    try:
+        for round_no in range(ROUNDS):
+            cache = f"{scratch}/round{round_no}"
+            cold_ms, cold = build_ms(sources, cache)
+            assert len(cold.order) >= 20
+            assert cold.recompiled == cold.order
+
+            edited = dict(sources)
+            edited["app.Main"] = sources["app.Main"].replace(
+                "System.out.println", f"/* edit {round_no} */ "
+                                      "System.out.println")
+            warm_ms, warm = build_ms(edited, cache)
+            assert warm.recompiled == ["app.Main"]
+            assert len(warm.reused) == len(cold.order) - 1
+
+            # No speedup bought with wrong bytes: the incremental
+            # artifact must match a from-scratch build of the edit.
+            clean_of_edit = ModuleBuilder(
+                MemorySources(edited)).build(["app.Main"])
+            assert warm.expanded() == clean_of_edit.expanded()
+
+            clean_ms.append(cold_ms)
+            incremental_ms.append(warm_ms)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    clean = statistics.median(clean_ms)
+    incremental = statistics.median(incremental_ms)
+    speedup = clean / incremental
+    modules = LAYERS * WIDTH + 1
+    report(
+        f"E16: leaf edit in a {modules}-module project "
+        f"(median of {ROUNDS})",
+        [["clean rebuild", f"{clean:.1f} ms", f"{modules} compiled"],
+         ["incremental rebuild", f"{incremental:.1f} ms",
+          f"1 compiled, {modules - 1} reused"],
+         ["speedup", f"{speedup:.1f}x", f"bar: >= {MIN_SPEEDUP:.0f}x"]],
+        header=["path", "median", "modules"])
+    record_metric("modules_clean_build_ms", round(clean, 3), "ms")
+    record_metric("modules_incremental_build_ms", round(incremental, 3),
+                  "ms")
+    record_metric("modules_incremental_speedup", round(speedup, 3), "x")
+    assert speedup >= MIN_SPEEDUP, \
+        f"incremental rebuild only {speedup:.1f}x faster than clean"

@@ -94,14 +94,23 @@ class MayaCompiler:
     # -- compilation ---------------------------------------------------------
 
     def compile(self, source: str, filename: str = "<string>") -> CompiledProgram:
-        if sys.getrecursionlimit() < _RECURSION_LIMIT:
-            sys.setrecursionlimit(_RECURSION_LIMIT)
-        engine = self.env.diag
-        mark = engine.mark()
-        engine.add_source(filename, source)
-
         unit_env = self.env.child()
         unit_env.imports = list(self.env.imports)
+        return self.compile_unit(source, filename, unit_env)
+
+    def compile_unit(self, source: str, filename: str,
+                     unit_env: CompileEnv) -> CompiledProgram:
+        """Compile one translation unit in a caller-built environment.
+
+        The module builder uses this to give each module its own child
+        env (own grammar copy carrying that module's import-replayed
+        syntax extensions, own import list) while every unit still
+        accumulates into the shared program/registry."""
+        if sys.getrecursionlimit() < _RECURSION_LIMIT:
+            sys.setrecursionlimit(_RECURSION_LIMIT)
+        engine = unit_env.diag
+        mark = engine.mark()
+        engine.add_source(filename, source)
         ctx = CompileContext(unit_env)
 
         try:

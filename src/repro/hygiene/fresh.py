@@ -4,30 +4,44 @@ Generated names contain ``$`` — unwritable in ordinary source (our
 scanner accepts them only because templates and the compiler itself
 mint them), so they are "guaranteed to be unique within a compilation
 unit" by construction.
+
+The counter is thread-local: the incremental module builder resets it
+at the start of every recompiled module (so a module's expanded output
+is a pure function of its source, the artifact byte-identity the
+property tests assert), and daemon workers compile concurrently — a
+process-global counter would let one thread's reset tear another
+thread's unit mid-compile.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 
 from repro.ast.nodes import Ident
 
-_counter = itertools.count(1)
+
+class _Local(threading.local):
+    def __init__(self):
+        self.counter = itertools.count(1)
+
+
+_local = _Local()
 
 
 def make_id(base: str = "tmp") -> Ident:
     """A fresh identifier that cannot collide with source names."""
-    return Ident(f"{base}${next(_counter)}")
+    return Ident(f"{base}${next(_local.counter)}")
 
 
 def fresh_name(base: str) -> str:
-    return f"{base}${next(_counter)}"
+    return f"{base}${next(_local.counter)}"
 
 
 def reset_fresh_names() -> None:
-    """Reset the counter (tests only, for stable expected output)."""
-    global _counter
-    _counter = itertools.count(1)
+    """Restart this thread's counter — the start-of-unit determinism
+    point (tests and the module builder)."""
+    _local.counter = itertools.count(1)
 
 
 class Environment:

@@ -22,6 +22,19 @@ Options:
                       source (optionally only for methods whose
                       qualified label contains METHOD, e.g. Demo.main)
     --expand          print the expanded (plain Java) source
+    --module-path DIR resolve ``import``s against .maya module files
+                      under DIR (repeatable).  Naming several source
+                      files, or any --module-path, switches mayac into
+                      module mode: each file/importee is one module,
+                      compiled in dependency order, with Mayans used at
+                      a module's top level exported to its importers
+    --module-cache DIR
+                      persist per-module build products under DIR so an
+                      unchanged module (and unchanged transitive deps)
+                      is reused instead of recompiled (also honours the
+                      MAYA_MODULE_CACHE environment variable)
+    --module-report   print which modules were recompiled vs. reused
+                      to stderr after a module-mode build
     --no-macros       do not register the maya.util library
     --multijava       register the MultiJava extension
     --max-errors N    stop collecting after N errors (default 20)
@@ -69,6 +82,7 @@ traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import MayaCompiler, perf, trace
@@ -112,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "methods whose label contains METHOD)")
     parser.add_argument("--expand", action="store_true",
                         help="print the expanded source")
+    parser.add_argument("--module-path", action="append", default=[],
+                        metavar="DIR",
+                        help="resolve imports against .maya modules "
+                             "under DIR (repeatable; enables module "
+                             "mode)")
+    parser.add_argument("--module-cache", metavar="DIR",
+                        default=os.environ.get("MAYA_MODULE_CACHE"),
+                        help="persist per-module build products under "
+                             "DIR for incremental rebuilds")
+    parser.add_argument("--module-report", action="store_true",
+                        help="print recompiled-vs-reused modules to "
+                             "stderr after a module-mode build")
     parser.add_argument("--no-macros", action="store_true",
                         help="skip the maya.util macro library")
     parser.add_argument("--multijava", action="store_true",
@@ -193,6 +219,71 @@ def _write_output(path: str, text: str, engine, what: str) -> bool:
         return False
 
 
+def _module_mode(args) -> bool:
+    """Module mode: several source files, or any --module-path."""
+    return bool(args.module_path) or len(args.files) > 1
+
+
+def _print_module_report(order, recompiled) -> None:
+    recompiled = set(recompiled)
+    reused = [name for name in order if name not in recompiled]
+    print(f"mayac: modules: {len(order)} total, "
+          f"{len(recompiled)} recompiled, {len(reused)} reused",
+          file=sys.stderr)
+    for name in order:
+        word = "recompiled" if name in recompiled else "reused"
+        print(f"  {word:10} {name}", file=sys.stderr)
+
+
+def _daemon_modules(args, client) -> int:
+    """Module mode over --daemon: discover the graph locally (a token
+    scan per file, no parsing), ship every module's source, and let the
+    daemon's shared module cache do the incremental work."""
+    from repro.diag import DiagnosticError
+    from repro.modules import FileSystemSources, ModuleGraph
+    from repro.server.client import DaemonError
+    from repro.server.protocol import STATUS_COMPILE_ERROR, STATUS_OK
+    from repro.types.builtins import standard_registry
+
+    sources = FileSystemSources(args.module_path or [])
+    try:
+        roots = [sources.module_name_for(path) for path in args.files]
+        graph = ModuleGraph.discover(roots, sources,
+                                     registry=standard_registry())
+    except DiagnosticError as error:
+        print(f"mayac: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"mayac: {error}", file=sys.stderr)
+        return 1
+    payload = {name: info.source for name, info in graph.modules.items()}
+    try:
+        response = client.compile_modules(
+            payload, roots, expand=args.expand,
+            provenance=args.provenance, use=args.use,
+            multijava=args.multijava, no_macros=args.no_macros,
+            fuel=args.fuel, max_errors=args.max_errors)
+    except DaemonError as error:
+        print(f"mayac: {error}", file=sys.stderr)
+        return 3
+    status = response.get("status")
+    if status == STATUS_OK:
+        modules = response.get("modules") or {}
+        if args.module_report:
+            _print_module_report(modules.get("order", ()),
+                                 modules.get("recompiled", ()))
+        if args.expand and "expanded" in response:
+            print(response["expanded"])
+        return 0
+    for diagnostic in response.get("diagnostics", ()):
+        print(diagnostic.get("rendered")
+              or diagnostic.get("message", ""), file=sys.stderr)
+    errors = len(response.get("diagnostics", ())) or 1
+    plural = "s" if errors != 1 else ""
+    print(f"mayac: {errors} error{plural}", file=sys.stderr)
+    return 1 if status == STATUS_COMPILE_ERROR else 3
+
+
 def _daemon_main(args) -> int:
     """Delegate compilation to a running mayad (``--daemon``)."""
     from repro.server.client import DaemonError, MayaClient
@@ -203,6 +294,8 @@ def _daemon_main(args) -> int:
               "(the daemon compiles; run locally)", file=sys.stderr)
         return 2
     client = MayaClient(args.daemon)
+    if _module_mode(args):
+        return _daemon_modules(args, client)
     code = 0
     for path in args.files:
         try:
@@ -309,22 +402,50 @@ def main(argv=None) -> int:
         return code
 
     program = None
-    for path in args.files:
+    if _module_mode(args):
+        from repro.modules import FileSystemSources, ModuleBuilder
+
+        sources = FileSystemSources(args.module_path or [])
+        options = {
+            "use": list(args.use),
+            "no_macros": args.no_macros,
+            "multijava": args.multijava,
+            "provenance": args.provenance,
+        }
+        builder = ModuleBuilder(sources, cache_dir=args.module_cache,
+                                options=options, env=compiler.env)
+        need_bodies = bool(args.run) or args.dump_codegen is not None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
+            roots = [sources.module_name_for(path) for path in args.files]
+            result = builder.build(roots, need_bodies=need_bodies)
         except OSError as error:
-            print(f"mayac: cannot read {path}: {error.strerror}",
-                  file=sys.stderr)
+            print(f"mayac: {error}", file=sys.stderr)
             return finish(1)
-        try:
-            program = compiler.compile(source, path)
-        except Exception as error:  # surface compile errors cleanly
+        except Exception as error:
             _report(engine, error)
             return finish(1)
+        program = result.program
+        if args.module_report:
+            _print_module_report(result.order, result.recompiled)
+        if args.expand:
+            print(result.expanded())
+    else:
+        for path in args.files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as error:
+                print(f"mayac: cannot read {path}: {error.strerror}",
+                      file=sys.stderr)
+                return finish(1)
+            try:
+                program = compiler.compile(source, path)
+            except Exception as error:  # surface compile errors cleanly
+                _report(engine, error)
+                return finish(1)
 
-    if args.expand and program is not None:
-        print(program.source(provenance=args.provenance))
+        if args.expand and program is not None:
+            print(program.source(provenance=args.provenance))
 
     interp = None
     if args.run and program is not None:

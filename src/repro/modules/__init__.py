@@ -1,0 +1,37 @@
+"""repro.modules: multi-file programs and incremental recompilation.
+
+See DESIGN.md "Modules & incremental builds" for the architecture:
+:mod:`repro.modules.graph` discovers the import DAG,
+:mod:`repro.modules.cache` persists per-module build products keyed by
+transitive content fingerprints, :mod:`repro.modules.iface` carries
+class skeletons across the cache boundary, and
+:mod:`repro.modules.build` orchestrates the incremental build loop.
+"""
+
+from repro.modules.build import BuildResult, ModuleBuild, ModuleBuilder
+from repro.modules.cache import (CACHE_FORMAT, ModuleCache, ModuleEntry,
+                                 module_key, options_signature)
+from repro.modules.graph import (FileSystemSources, MemorySources,
+                                 ModuleGraph, ModuleImport, ModuleInfo,
+                                 ModuleSources, scan_imports)
+from repro.modules.iface import export_interface, restore_interface
+
+__all__ = [
+    "BuildResult",
+    "CACHE_FORMAT",
+    "FileSystemSources",
+    "MemorySources",
+    "ModuleBuild",
+    "ModuleBuilder",
+    "ModuleCache",
+    "ModuleEntry",
+    "ModuleGraph",
+    "ModuleImport",
+    "ModuleInfo",
+    "ModuleSources",
+    "export_interface",
+    "module_key",
+    "options_signature",
+    "restore_interface",
+    "scan_imports",
+]

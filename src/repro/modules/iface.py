@@ -1,0 +1,108 @@
+"""Module interfaces: class skeletons that cross the cache boundary.
+
+When a module's cache entry is fresh, its importers still need the
+module's classes in the shared type registry — names, supertypes, and
+member *signatures*, everything the class shaper and typechecker look
+at — but not its method bodies.  This module serializes exactly that
+surface to plain JSON-able dicts and restores it with the same two-pass
+discipline as ``MayaCompiler._shape`` (define all names first, then
+wire supertypes and members, so mutually recursive modules' classes
+resolve).
+
+Types are spelled as ``(dotted-name-parts, dims)`` via
+``Type.syntax_parts()`` and restored with ``registry.resolve_type`` —
+fully qualified on the way out, so restoration needs no import context.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.types import ClassType
+from repro.types.types import Type
+
+
+def _spell(type_: Type) -> list:
+    parts, dims = type_.syntax_parts()
+    return [list(parts), dims]
+
+
+def export_interface(classes: Sequence[ClassType]) -> List[dict]:
+    """The JSON-able skeletons of one module's compiled classes."""
+    out: List[dict] = []
+    for klass in classes:
+        out.append({
+            "name": klass.name,
+            "is_interface": klass.is_interface,
+            "modifiers": list(klass.modifiers),
+            "superclass": klass.superclass.name
+            if klass.superclass is not None else None,
+            "interfaces": [i.name for i in klass.interfaces],
+            "fields": [
+                {
+                    "name": field.name,
+                    "type": _spell(field.type),
+                    "modifiers": list(field.modifiers),
+                }
+                for field in klass.fields.values()
+            ],
+            "methods": [
+                {
+                    "name": method.name,
+                    "params": [_spell(p) for p in method.param_types],
+                    "return": _spell(method.return_type),
+                    "modifiers": list(method.modifiers),
+                }
+                for bucket in klass.methods.values()
+                for method in bucket
+            ],
+            "constructors": [
+                {
+                    "params": [_spell(p) for p in ctor.param_types],
+                    "modifiers": list(ctor.modifiers),
+                }
+                for ctor in klass.constructors
+            ],
+        })
+    return out
+
+
+def restore_interface(iface: List[dict], registry) -> List[ClassType]:
+    """Re-declare cached skeletons into ``registry`` (two passes)."""
+    restored: List[ClassType] = []
+    # Pass 1: names exist, so intra-module references resolve.
+    for payload in iface:
+        klass = ClassType(
+            payload["name"],
+            is_interface=payload["is_interface"],
+            modifiers=tuple(payload["modifiers"]),
+        )
+        registry.define(klass)
+        restored.append(klass)
+
+    def resolve(spelling: list) -> Type:
+        parts, dims = spelling
+        return registry.resolve_type(tuple(parts), dims)
+
+    # Pass 2: supertypes and member signatures.
+    for payload, klass in zip(iface, restored):
+        if payload["superclass"] is not None:
+            klass.superclass = registry.require(payload["superclass"])
+        elif not klass.is_interface:
+            klass.superclass = registry.require("java.lang.Object")
+        for name in payload["interfaces"]:
+            klass.interfaces.append(registry.require(name))
+        for field in payload["fields"]:
+            klass.declare_field(field["name"], resolve(field["type"]),
+                                field["modifiers"])
+        for method in payload["methods"]:
+            klass.declare_method(
+                method["name"],
+                [resolve(p) for p in method["params"]],
+                resolve(method["return"]),
+                method["modifiers"],
+            )
+        for ctor in payload["constructors"]:
+            klass.declare_constructor([resolve(p) for p in ctor["params"]],
+                                      ctor["modifiers"])
+    return restored

@@ -148,6 +148,12 @@ class MayaClient:
         return self.request("compile", source=source, filename=filename,
                             options=options)
 
+    def compile_modules(self, sources: dict, roots, **options) -> dict:
+        """Compile a multi-file program: ``sources`` maps module names
+        to source text, ``roots`` lists the entry modules."""
+        return self.request("compile", sources=dict(sources),
+                            roots=list(roots), options=options)
+
     def ping(self) -> dict:
         return self.request("ping")
 

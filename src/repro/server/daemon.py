@@ -105,7 +105,8 @@ class DaemonConfig:
                  max_deadline_s: float = 120.0, fuel_cap: int = 1024,
                  max_errors_cap: int = 200,
                  artifact_cache_size: int = 256, prewarm: bool = True,
-                 codegen_cache_dir: Optional[str] = None):
+                 codegen_cache_dir: Optional[str] = None,
+                 module_cache_dir: Optional[str] = None):
         self.host = host
         self.port = port
         self.socket_path = socket_path
@@ -123,6 +124,12 @@ class DaemonConfig:
         self.codegen_cache_dir = (codegen_cache_dir
                                   or os.environ.get("MAYA_CODEGEN_CACHE")
                                   or None)
+        #: Workers share the incremental module cache the same way:
+        #: multi-file compile requests reuse any module whose transitive
+        #: fingerprint matches, whichever worker built it last.
+        self.module_cache_dir = (module_cache_dir
+                                 or os.environ.get("MAYA_MODULE_CACHE")
+                                 or None)
 
 
 class _Request:
@@ -355,8 +362,33 @@ class MayaDaemon:
 
     def _handle_compile(self, payload: dict) -> dict:
         source = payload.get("source")
+        sources = payload.get("sources")
+        roots = payload.get("roots")
         filename = payload.get("filename") or "<daemon>"
-        if not isinstance(source, str):
+        if sources is not None:
+            # Multi-file request: every module's source rides in the
+            # payload, plus the root module names to build from.
+            if (not isinstance(sources, dict) or not sources
+                    or not all(isinstance(k, str) and isinstance(v, str)
+                               for k, v in sources.items())):
+                return error_response(
+                    STATUS_BAD_REQUEST,
+                    "'sources' must be a non-empty object of "
+                    "module name -> source text")
+            if (not isinstance(roots, list) or not roots
+                    or not all(isinstance(r, str) for r in roots)):
+                return error_response(
+                    STATUS_BAD_REQUEST,
+                    "multi-file compile requests need a 'roots' list "
+                    "of module names")
+            # One canonical string stands in for 'the source' so the
+            # artifact cache stays content-addressed for module jobs.
+            import json as _json
+
+            source = _json.dumps({"roots": roots, "sources": sources},
+                                 sort_keys=True)
+            filename = "<modules>"
+        elif not isinstance(source, str):
             return error_response(STATUS_BAD_REQUEST,
                                   "compile request needs a string 'source'")
         if not self._running:
@@ -455,7 +487,23 @@ class MayaDaemon:
             for name in options.get("use") or ():
                 compiler.use(str(name))
             faults.check(faults.SITE_WORKER_EXECUTE)
-            if degraded:
+            modules_result = None
+            if payload.get("sources") is not None:
+                builder = self._module_builder(payload, options, env,
+                                               degraded)
+                # The builder's compiler shares env (and therefore the
+                # metaprogram namespace installed above).
+                if degraded:
+                    with lalr_tables.bypass_caches():
+                        modules_result = builder.build(
+                            payload["roots"],
+                            need_bodies=bool(options.get("run")))
+                else:
+                    modules_result = builder.build(
+                        payload["roots"],
+                        need_bodies=bool(options.get("run")))
+                program = modules_result.program
+            elif degraded:
                 # Single-shot mode: a poisoned shared cache must not be
                 # able to kill the rerun too.
                 with lalr_tables.bypass_caches():
@@ -491,12 +539,38 @@ class MayaDaemon:
         }
         if degraded:
             response["degraded"] = True
+        if modules_result is not None:
+            response["modules"] = {
+                "order": modules_result.order,
+                "recompiled": modules_result.recompiled,
+                "reused": modules_result.reused,
+            }
         if options.get("expand"):
-            response["expanded"] = program.source(
-                provenance=bool(options.get("provenance")))
+            response["expanded"] = modules_result.expanded() \
+                if modules_result is not None \
+                else program.source(provenance=bool(
+                    options.get("provenance")))
         if options.get("run"):
             response["run"] = self._run_program(program, options)
         return response
+
+    def _module_builder(self, payload: dict, options: dict,
+                        env: CompileEnv, degraded: bool):
+        """A ModuleBuilder for one multi-file request.  Degraded re-runs
+        bypass the shared module cache (same reasoning as the LALR
+        bypass: a poisoned entry must not kill the rerun)."""
+        from repro.modules import MemorySources, ModuleBuilder
+
+        build_options = {
+            key: options.get(key)
+            for key in ("multijava", "use", "no_macros", "provenance")
+            if options.get(key)
+        }
+        return ModuleBuilder(
+            MemorySources(payload["sources"]),
+            cache_dir=None if degraded else self.config.module_cache_dir,
+            options=build_options,
+            env=env)
 
     @staticmethod
     def _run_program(program, options: dict) -> dict:

@@ -19,7 +19,10 @@ Scenarios (``--scenario``):
 * ``worker-hang``   — one worker hangs; that request must come back
   ``deadline-exceeded`` and the pool must backfill;
 * ``worker-crash``  — one worker crashes; the request must be
-  re-run in degraded mode and *succeed*.
+  re-run in degraded mode and *succeed*;
+* ``modules``       — multi-file compile requests hammer the shared
+  incremental module cache while one on-disk entry is served corrupt;
+  every request must succeed anyway (quarantine + recompile).
 """
 
 from __future__ import annotations
@@ -61,6 +64,32 @@ SCENARIOS = {
     "worker-hang": ("worker.execute:hang:secs=5:times=1",
                     {STATUS_DEADLINE}, 2.0),
     "worker-crash": ("worker.execute:crash:times=1", set(), 15.0),
+    "modules": ("cache.module.load:corrupt:times=1", set(), 5.0),
+}
+
+#: The multi-file program the ``modules`` scenario compiles: a Mayan
+#: ``use``d in lib.Util reaches app.Main over the import edge, and
+#: every request after the first replays both modules from the shared
+#: module cache (except the one that draws the corrupt entry).
+MODULE_SOURCES = {
+    "lib.Util": """
+        use maya.util.ForEach;
+        class Util {
+            static void dump(String[] items) {
+                items.foreach(String s) { System.out.println(s); }
+            }
+        }
+    """,
+    "app.Main": """
+        import lib.Util;
+        class Main {
+            static void main() {
+                String[] data = new String[1];
+                data[0] = "smoke";
+                Util.dump(data);
+            }
+        }
+    """,
 }
 
 
@@ -73,9 +102,12 @@ def run_drill(requests: int, scenario: str, workers: int = 4,
     cache_dir = tempfile.mkdtemp(prefix="mayad-smoke-")
     enable_disk_cache(cache_dir)
 
+    import os
+
     daemon = MayaDaemon(DaemonConfig(
         workers=workers, queue_size=max(16, requests),
-        default_deadline_s=deadline_s)).start()
+        default_deadline_s=deadline_s,
+        module_cache_dir=os.path.join(cache_dir, "modules"))).start()
     if scenario == "cache-corrupt":
         # Prewarm just wrote good table entries to disk; flushing the
         # in-memory LRU forces the drill through the on-disk loader,
@@ -90,14 +122,23 @@ def run_drill(requests: int, scenario: str, workers: int = 4,
         started = time.perf_counter()
         with concurrent.futures.ThreadPoolExecutor(
                 max_workers=min(16, requests)) as pool:
-            futures = [
-                pool.submit(client.compile,
-                            SOURCE_TEMPLATE % (i, i),
-                            filename=f"smoke{i}.maya", expand=True,
-                            cache=False,
-                            deadline_ms=int(deadline_s * 1000))
-                for i in range(requests)
-            ]
+            if scenario == "modules":
+                futures = [
+                    pool.submit(client.compile_modules,
+                                MODULE_SOURCES, ["app.Main"],
+                                expand=True, cache=False,
+                                deadline_ms=int(deadline_s * 1000))
+                    for i in range(requests)
+                ]
+            else:
+                futures = [
+                    pool.submit(client.compile,
+                                SOURCE_TEMPLATE % (i, i),
+                                filename=f"smoke{i}.maya", expand=True,
+                                cache=False,
+                                deadline_ms=int(deadline_s * 1000))
+                    for i in range(requests)
+                ]
             for i, future in enumerate(futures):
                 response = future.result(timeout=60)
                 status = str(response.get("status"))

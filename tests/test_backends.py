@@ -998,6 +998,143 @@ class TestPycodeBackend:
         compile(plan.source, "<roundtrip>", "exec")
 
 
+# ---------------------------------------------------------------------------
+# Multi-module programs: the same parity bar, across import edges
+# ---------------------------------------------------------------------------
+
+
+MODULE_PROGRAM = {
+    "lib.Shape": """
+        class Shape { int area() { return 0; } }
+    """,
+    "lib.Square": """
+        import lib.Shape;
+        class Square extends Shape {
+            int side;
+            Square(int side) { this.side = side; }
+            int area() { return side * side; }
+        }
+    """,
+    "lib.Loops": """
+        use maya.util.ForEach;
+        import lib.Shape;
+        class Loops {
+            static int total(Shape[] shapes) {
+                int sum = 0;
+                StringBuffer seen = new StringBuffer();
+                shapes.foreach(Shape s) {
+                    sum += s.area();
+                    seen.append("#");
+                }
+                System.out.println("visited " + seen.toString());
+                return sum;
+            }
+        }
+    """,
+    "app.Main": """
+        import lib.Shape;
+        import lib.Square;
+        import lib.Loops;
+        class Main {
+            static int main() {
+                Shape[] shapes = new Shape[3];
+                shapes[0] = new Square(2);
+                shapes[1] = new Shape();
+                shapes[2] = new Square(5);
+                int total = Loops.total(shapes);
+                System.out.println("total " + total);
+                return total;
+            }
+        }
+    """,
+}
+
+MODULE_THROWING = {
+    "lib.Depth": """
+        class Depth {
+            static int probe(int[] values, int index) {
+                return values[index];
+            }
+        }
+    """,
+    "app.Main": """
+        import lib.Depth;
+        class Main {
+            static int main() {
+                int[] values = new int[2];
+                return Depth.probe(values, 7);
+            }
+        }
+    """,
+}
+
+
+def compile_modules(sources, roots=("app.Main",), macros=False):
+    from repro.macros import install_macro_library
+    from repro.modules import MemorySources, ModuleBuilder
+
+    builder = ModuleBuilder(MemorySources(sources))
+    if macros:
+        install_macro_library(builder.compiler)
+    return builder.build(list(roots), need_bodies=True).program
+
+
+class TestMultiModuleDifferential:
+    """Programs spanning several modules — including a Mayan exported
+    over an import edge — meet the same cross-backend parity bar as
+    single files: identical stdout, counters, and thrown classes."""
+
+    def test_stdout_and_counters_identical(self):
+        program = compile_modules(MODULE_PROGRAM, macros=True)
+        results = {}
+        for backend in BACKENDS:
+            interp = Interpreter(program, backend=backend)
+            value = interp.run_static("Main")
+            results[backend] = (value, interp.output,
+                                interp.counters.snapshot())
+        walk = results["walk"]
+        for backend in BACKENDS[1:]:
+            assert walk == results[backend], f"{backend} diverged"
+        assert walk[0] == 29
+        assert walk[1] == ["visited ###", "total 29"]
+
+    def test_incremental_program_matches_clean_program(self, tmp_path):
+        # The program materialized from a warm cache must behave
+        # identically to a cleanly compiled one, on every backend.
+        from repro.macros import install_macro_library
+        from repro.modules import MemorySources, ModuleBuilder
+
+        def build(cache_dir):
+            builder = ModuleBuilder(MemorySources(MODULE_PROGRAM),
+                                    cache_dir=cache_dir)
+            install_macro_library(builder.compiler)
+            return builder.build(["app.Main"], need_bodies=True).program
+
+        build(str(tmp_path))  # populate
+        warm = build(str(tmp_path))  # all-reused, rematerialized
+        clean = compile_modules(MODULE_PROGRAM, macros=True)
+        for backend in BACKENDS:
+            runs = []
+            for program in (warm, clean):
+                interp = Interpreter(program, backend=backend)
+                value = interp.run_static("Main")
+                runs.append((value, interp.output,
+                             interp.counters.snapshot()))
+            assert runs[0] == runs[1], f"{backend}: warm != clean"
+
+    def test_same_java_throw_across_modules(self):
+        program = compile_modules(MODULE_THROWING)
+        thrown = {}
+        for backend in BACKENDS:
+            interp = Interpreter(program, backend=backend)
+            with pytest.raises(JavaThrow) as exc:
+                interp.run_static("Main")
+            thrown[backend] = exc.value.value.class_type.name
+        for backend in BACKENDS[1:]:
+            assert thrown["walk"] == thrown[backend]
+        assert thrown["walk"] == "java.lang.IndexOutOfBoundsException"
+
+
 class TestPlanCacheBound:
     def test_registry_evicts_past_bound(self):
         class FakeMethod:

@@ -56,6 +56,52 @@ class TestHelloMaya:
 
 
 # ---------------------------------------------------------------------------
+# examples/modules through mayac module mode
+# ---------------------------------------------------------------------------
+
+MODULES_DIR = EXAMPLES_DIR / "modules"
+MODULES_MAIN = str(MODULES_DIR / "app" / "Main.maya")
+MODULES_OUTPUT = ["maya", "modules", "incremental",
+                  "MAYA!", "MODULES!", "INCREMENTAL!"]
+
+
+class TestModulesExample:
+    """The shipped multi-module example: a Mayan exported over an
+    import edge, built incrementally.  Runs under whichever backend
+    ``MAYA_BACKEND`` selects, so every CI backend leg covers it."""
+
+    def _argv(self, cache):
+        return ["--module-path", str(MODULES_DIR), "--module-cache",
+                str(cache), "--module-report", "--run", "Main",
+                MODULES_MAIN]
+
+    def test_cold_build_runs(self, tmp_path, capsys):
+        assert mayac_main(self._argv(tmp_path / "cache")) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == MODULES_OUTPUT
+        assert "3 total, 3 recompiled, 0 reused" in captured.err
+
+    def test_incremental_rebuild_reuses_everything(self, tmp_path,
+                                                   capsys):
+        cache = tmp_path / "cache"
+        assert mayac_main(self._argv(cache)) == 0
+        capsys.readouterr()
+        assert mayac_main(self._argv(cache)) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == MODULES_OUTPUT
+        assert "3 total, 0 recompiled, 3 reused" in captured.err
+
+    def test_expand_is_plain_java(self, capsys):
+        assert mayac_main(["--module-path", str(MODULES_DIR),
+                           "--expand", MODULES_MAIN]) == 0
+        out = capsys.readouterr().out
+        assert "// module lib.Text" in out
+        assert "// module app.Main" in out
+        assert "foreach" not in out  # fully expanded
+        assert "hasMoreElements" not in out  # arrays walk by index
+
+
+# ---------------------------------------------------------------------------
 # Python example scripts
 # ---------------------------------------------------------------------------
 

@@ -377,3 +377,104 @@ class TestQueueNeverWedges:
                                   cache=False)["status"] == "ok"
         finally:
             server.stop()
+
+
+MODULE_SOURCES = {
+    "lib.Util": """
+        class Util { static int five() { return 5; } }
+    """,
+    "app.Main": """
+        import lib.Util;
+        class Main {
+            static void main() {
+                System.out.println(Util.five() + 37);
+            }
+        }
+    """,
+}
+
+
+class TestModuleCacheCorruption:
+    """The workers' shared incremental module cache applies the same
+    quarantine-on-corrupt ladder as the table and codegen caches: a
+    poisoned entry is quarantined, counted, and recompiled — never a
+    failed request, never a dead daemon."""
+
+    def test_corrupt_module_entry_is_quarantined_and_regenerated(
+            self, tmp_path):
+        from repro.modules import cache as module_cache
+
+        corrupt = module_cache._CORRUPT_TOTAL
+        before = corrupt.value
+        server = _daemon(module_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            first = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                           cache=False, run="Main")
+            assert first["status"] == "ok"
+            assert first["run"]["output"] == ["42"]
+            assert first["modules"]["recompiled"] == \
+                ["lib.Util", "app.Main"]
+            assert any(path.name.startswith("module-")
+                       for path in tmp_path.iterdir())
+            # Second request replays from the shared cache — with the
+            # first load returning injected garbage.
+            faults.configure("cache.module.load:corrupt:times=1")
+            second = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                            cache=False, run="Main")
+            assert second["status"] == "ok"
+            assert second["run"]["output"] == ["42"]
+            # Exactly the corrupted module recompiled; its sibling
+            # replayed from its (healthy) entry.
+            assert len(second["modules"]["recompiled"]) == 1
+        finally:
+            server.stop()
+        assert corrupt.value == before + 1
+        quarantined = [path for path in tmp_path.iterdir()
+                       if path.suffix == ".quarantine"]
+        assert len(quarantined) == 1
+
+    def test_truncated_entry_on_disk_is_survived(self, tmp_path):
+        from repro.modules import cache as module_cache
+
+        corrupt = module_cache._CORRUPT_TOTAL
+        before = corrupt.value
+        server = _daemon(module_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            assert client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                          cache=False)["status"] == "ok"
+            # Truncate a real entry mid-JSON, no fault injection: the
+            # ladder must handle organic disk rot the same way.
+            victim = next(path for path in tmp_path.iterdir()
+                          if path.name.startswith("module-"))
+            victim.write_text(victim.read_text()[:40], encoding="utf-8")
+            response = client.compile_modules(MODULE_SOURCES,
+                                              ["app.Main"], cache=False)
+            assert response["status"] == "ok"
+        finally:
+            server.stop()
+        assert corrupt.value == before + 1
+        assert any(path.suffix == ".quarantine"
+                   for path in tmp_path.iterdir())
+
+    def test_daemon_survives_module_cache_load_failure(self, tmp_path):
+        server = _daemon(module_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            assert client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                          cache=False)["status"] == "ok"
+            # Every load raises: all misses, everything recompiles, the
+            # request still succeeds and the daemon stays up.
+            faults.configure("cache.module.load:raise")
+            response = client.compile_modules(MODULE_SOURCES,
+                                              ["app.Main"], cache=False,
+                                              run="Main")
+            assert response["status"] == "ok"
+            assert response["run"]["output"] == ["42"]
+            assert response["modules"]["recompiled"] == \
+                ["lib.Util", "app.Main"]
+            faults.reset()
+            assert client.ping()["status"] == "ok"
+        finally:
+            server.stop()
