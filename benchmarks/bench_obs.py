@@ -1,0 +1,99 @@
+"""What observability costs on the warm-daemon path, measured.
+
+Per-request observability is always on in the daemon — a scoped span
+tracer per compile, lifecycle events into the bounded ring, phase
+timings and outcomes accumulated onto the request context.  The design
+bar is that all of it together stays under 5% of warm-path latency
+(the budget the ISSUE gates in CI): events below the level threshold
+must cost one dict lookup, and tracing must touch only Mayan-relevant
+work, never per-AST-node paths.
+
+Two identical warm daemons answer the same corpus over real sockets:
+one with everything on (per-request tracing, info-level event log —
+the shipped defaults), one with tracing off and the event log
+thresholded to ``error`` (lifecycle events filter out at the cheap
+path).  The medians' gap is the overhead; ``obs_overhead_pct`` lands
+in BENCH_obs.json and ``compare.py`` fails CI when it crosses the
+absolute 5% ceiling.
+"""
+
+import statistics
+import time
+
+from conftest import record_metric, report
+
+from repro.obs import log as obs_log
+from repro.server import DaemonConfig, MayaClient, MayaDaemon
+
+WARMUP = 15
+REQUESTS = 120
+
+SOURCE = """
+    import java.util.*;
+    class ObsBench {
+        static void main() {
+            use maya.util.ForEach;
+            Vector v = new Vector();
+            v.addElement("obs");
+            v.elements().foreach(String s) { System.out.println(s); }
+        }
+    }
+"""
+
+
+def measure_ms(trace_requests: bool, log_level: str) -> list:
+    """Median-friendly latency samples against one warm daemon."""
+    previous_level = obs_log.LOG.level
+    obs_log.LOG.set_level(log_level)
+    server = MayaDaemon(DaemonConfig(
+        workers=2, prewarm=True,
+        trace_requests=trace_requests)).start()
+    try:
+        client = MayaClient(server.address, retries=0)
+        for _ in range(WARMUP):
+            assert client.compile(SOURCE, "warmup.maya",
+                                  cache=False)["status"] == "ok"
+        samples = []
+        for _ in range(REQUESTS):
+            started = time.perf_counter()
+            response = client.compile(SOURCE, "obs.maya", cache=False)
+            samples.append((time.perf_counter() - started) * 1000.0)
+            assert response["status"] == "ok"
+        return samples
+    finally:
+        server.stop()
+        obs_log.LOG.set_level(previous_level)
+
+
+def test_observability_overhead_is_under_budget():
+    off = measure_ms(trace_requests=False, log_level="error")
+    on = measure_ms(trace_requests=True, log_level="info")
+
+    off_median = statistics.median(off)
+    on_median = statistics.median(on)
+    delta_ms = on_median - off_median
+    overhead_pct = delta_ms / off_median * 100.0
+
+    report(
+        "observability overhead (warm daemon, per request)",
+        [
+            ("obs off (no tracing, error-level log)",
+             f"{off_median:.3f} ms"),
+            ("obs on (per-request tracing, info-level log)",
+             f"{on_median:.3f} ms"),
+            ("overhead", f"{delta_ms:+.3f} ms ({overhead_pct:+.2f}%)"),
+        ],
+        header=("mode", "median latency"),
+    )
+    record_metric("obs_off_p50_ms", round(off_median, 3), "ms")
+    record_metric("obs_on_p50_ms", round(on_median, 3), "ms")
+    record_metric("obs_overhead_pct", round(max(overhead_pct, 0.0), 2),
+                  "pct")
+
+    # The budget: everything-on must cost < 5% of the warm path.  A
+    # sub-0.2ms median gap is below this harness's timer noise on a
+    # busy runner; don't let jitter fail the build.
+    assert overhead_pct < 5.0 or delta_ms < 0.2, (
+        f"observability overhead {overhead_pct:.2f}% "
+        f"({delta_ms:+.3f} ms) blew the 5% budget"
+    )

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro.obs import log as _obs_log
+
 SEVERITIES = ("error", "warning", "note")
 
 #: Compiler phases a diagnostic can originate from.
@@ -83,6 +85,13 @@ class Diagnostic:
         #: The original exception this diagnostic was absorbed from, if
         #: any.  Lets single-error compiles re-raise the precise type.
         self.cause = cause
+        #: The request this diagnostic belongs to, when one was bound
+        #: at creation (daemon workers bind one per request): lets a
+        #: service response — or a log line quoting the diagnostic —
+        #: blame the exact request that produced it.
+        context = _obs_log.current_request()
+        self.request_id = context.request_id if context else None
+        self.trace_id = context.trace_id if context else None
 
     def with_note(self, note: str) -> "Diagnostic":
         self.notes.append(note)

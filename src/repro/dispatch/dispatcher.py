@@ -251,7 +251,7 @@ class Dispatcher:
                               DEFAULT_EXPANSION_DEPTH)
         reentry_limit = getattr(engine, "max_mayan_reentry",
                                 DEFAULT_MAYAN_REENTRY)
-        tracer = trace.active
+        tracer = trace.current()
         profiler = perf.active
 
         def run(index: int):

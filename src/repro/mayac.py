@@ -7,6 +7,15 @@ Options:
                       a Unix socket path) instead of in-process — the
                       warm daemon skips grammar/table building; see
                       ``python -m repro.server``
+    --daemon-status   print the daemon's live introspection snapshot
+                      (worker states, queue, rolling latency
+                      percentiles, cache hit ratios, slow requests)
+                      and exit; needs --daemon ADDR.  The continuous
+                      version is ``python -m repro.server.top``
+    --log-out FILE    mirror the structured event log to FILE as JSONL
+                      (request-stamped lifecycle events; same record
+                      discipline as --trace-out)
+    --log-level LEVEL event-log threshold: debug/info/warn/error
     --use NAME        import a metaprogram compiler-wide (repeatable;
                       the paper's -use option)
     --run CLASS       interpret CLASS.main() after compiling
@@ -99,6 +108,7 @@ from repro.multijava import install_multijava
 from repro.obs import export as obs_export
 from repro.obs import flamegraph as obs_flame
 from repro.obs import lazy as obs_lazy
+from repro.obs import log as obs_log
 from repro.obs.metrics import REGISTRY
 
 
@@ -106,10 +116,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mayac", description="Compile (and run) Maya source files."
     )
-    parser.add_argument("files", nargs="+", help="source files")
+    parser.add_argument("files", nargs="*", help="source files")
     parser.add_argument("--daemon", metavar="ADDR",
                         help="compile on a running mayad (host:port or "
                              "socket path) instead of in-process")
+    parser.add_argument("--daemon-status", action="store_true",
+                        help="print the daemon's live stats snapshot "
+                             "and exit (needs --daemon ADDR)")
+    parser.add_argument("--log-out", metavar="FILE",
+                        help="mirror the structured event log to FILE "
+                             "as JSONL")
+    parser.add_argument("--log-level", choices=sorted(obs_log.LEVELS),
+                        default=None,
+                        help="event-log threshold (default info)")
     parser.add_argument("--use", action="append", default=[],
                         metavar="NAME",
                         help="import a metaprogram compiler-wide")
@@ -329,10 +348,46 @@ def _daemon_main(args) -> int:
     return code
 
 
+def _daemon_status(args) -> int:
+    """``--daemon-status``: one live ``stats`` snapshot, rendered."""
+    from repro.server.client import DaemonError, MayaClient
+    from repro.server.top import render_stats
+
+    if not args.daemon:
+        print("mayac: --daemon-status needs --daemon ADDR",
+              file=sys.stderr)
+        return 2
+    client = MayaClient(args.daemon, retries=0, timeout_s=5.0)
+    try:
+        stats = client.stats()
+    except DaemonError as error:
+        print(f"mayac: {error}", file=sys.stderr)
+        return 3
+    print(render_stats(stats))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        obs_log.LOG.set_level(args.log_level)
+    if args.log_out:
+        obs_log.LOG.set_sink(args.log_out)
+    if args.daemon_status:
+        return _daemon_status(args)
+    if not args.files:
+        print("mayac: no source files (nothing to do)", file=sys.stderr)
+        return 2
     if args.daemon:
         return _daemon_main(args)
+    # Local compiles run under a request scope too: exemplars,
+    # diagnostics, and --log-out lines carry one request_id/trace_id
+    # per mayac invocation, same contract as a daemon request.
+    with obs_log.request_scope():
+        return _local_main(args)
+
+
+def _local_main(args) -> int:
     if args.table_cache:
         from repro.lalr.tables import enable_disk_cache
 
@@ -438,11 +493,18 @@ def main(argv=None) -> int:
                 print(f"mayac: cannot read {path}: {error.strerror}",
                       file=sys.stderr)
                 return finish(1)
+            obs_log.emit("mayac.compile.start", level="debug",
+                         filename=path)
             try:
                 program = compiler.compile(source, path)
             except Exception as error:  # surface compile errors cleanly
+                obs_log.emit("mayac.compile.error", level="error",
+                             filename=path,
+                             error=type(error).__name__)
                 _report(engine, error)
                 return finish(1)
+            obs_log.emit("mayac.compile.done", filename=path,
+                         classes=len(program.classes))
 
         if args.expand and program is not None:
             print(program.source(provenance=args.provenance))

@@ -43,6 +43,7 @@ from repro.diag import DiagnosticError
 from repro.hygiene.fresh import reset_fresh_names
 from repro.lalr import ConflictError
 from repro.lexer import Location
+from repro.obs import log as obs_log
 from repro.obs.metrics import REGISTRY
 from repro.modules.cache import (ModuleCache, ModuleEntry, module_key,
                                  options_signature)
@@ -137,7 +138,12 @@ class ModuleBuilder:
                 builds[name] = self._reuse(info, entry, builds, need_bodies)
             else:
                 builds[name] = self._recompile(info, builds)
-        return BuildResult(self.env, graph, builds, self.compiler.program)
+        result = BuildResult(self.env, graph, builds, self.compiler.program)
+        obs_log.emit("modules.build.done",
+                     modules=len(result.order),
+                     recompiled=len(result.recompiled),
+                     reused=len(result.reused))
+        return result
 
     # -- cache hit ---------------------------------------------------------
 
@@ -145,6 +151,8 @@ class ModuleBuilder:
                builds: Dict[str, ModuleBuild],
                need_bodies: bool) -> ModuleBuild:
         _REUSED_TOTAL.inc()
+        obs_log.emit("modules.module.reused", level="debug",
+                     module=info.name, materialized=need_bodies)
         if need_bodies:
             # The cached artifact is plain Java (every Mayan already
             # expanded), so compiling it skips the expensive phase but
@@ -170,6 +178,8 @@ class ModuleBuilder:
     def _recompile(self, info: ModuleInfo,
                    builds: Dict[str, ModuleBuild]) -> ModuleBuild:
         _COMPILED_TOTAL.inc()
+        obs_log.emit("modules.module.recompiled", level="debug",
+                     module=info.name, deps=len(info.deps))
         module_env = self._module_env(info)
         self._replay_exports(info, builds, module_env)
         reset_fresh_names()

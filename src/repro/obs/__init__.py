@@ -12,6 +12,10 @@ Three layers (see DESIGN.md "Telemetry"):
 * :mod:`repro.obs.lazy` — the laziness profiler: thunks created vs.
   forced per phase and production, measuring the paper's lazy
   parse/check claim (``mayac --lazy-report``).
+* :mod:`repro.obs.log` — the structured event log (bounded ring +
+  JSONL sink) and the contextvars request context that stamps every
+  event, span, metric exemplar, and diagnostic with the
+  ``request_id``/``trace_id`` of the request that caused it.
 """
 
 from repro.obs.metrics import (
@@ -23,9 +27,24 @@ from repro.obs.metrics import (
     MetricsRegistry,
     REGISTRY,
 )
-from repro.obs import export, flamegraph, lazy
+from repro.obs import export, flamegraph, lazy, log
+from repro.obs.log import (
+    EventLog,
+    LOG,
+    RequestContext,
+    current_request,
+    emit,
+    request_scope,
+)
 
 __all__ = [
+    "EventLog",
+    "LOG",
+    "RequestContext",
+    "current_request",
+    "emit",
+    "request_scope",
+    "log",
     "Counter",
     "Gauge",
     "Histogram",

@@ -31,6 +31,8 @@ import re
 import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import log as _log
+
 #: One process-wide lock serializing every child mutation.  Increments
 #: are read-modify-write (``self.value += n`` is several bytecodes), so
 #: without this a daemon worker pool hammering one shared child would
@@ -115,7 +117,8 @@ class Histogram:
     last bucket is open-ended (``+Inf`` in Prometheus terms).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets", "bounds")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "bounds",
+                 "exemplar")
 
     #: Default upper bounds (inclusive) of the buckets.
     BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128)
@@ -131,9 +134,19 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets = [0] * (len(self.bounds) + 1)
+        #: The most recent observation made under a bound request
+        #: context: ``{"value", "request_id", "trace_id"}`` — an
+        #: exemplar in the OpenMetrics sense, linking an aggregate
+        #: back to one concrete request that contributed to it.
+        self.exemplar: Optional[Dict[str, object]] = None
 
     def observe(self, value: float) -> None:
+        context = _log.current_request()
         with _VALUE_LOCK:
+            if context is not None:
+                self.exemplar = {"value": value,
+                                 "request_id": context.request_id,
+                                 "trace_id": context.trace_id}
             self.count += 1
             self.total += value
             if self.min is None or value < self.min:
@@ -162,7 +175,7 @@ class Histogram:
         return out
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        snapshot: Dict[str, object] = {
             "name": self.name,
             "count": self.count,
             "min": self.min,
@@ -176,6 +189,9 @@ class Histogram:
                 if hits
             },
         }
+        if self.exemplar is not None:
+            snapshot["exemplar"] = dict(self.exemplar)
+        return snapshot
 
     def _reset(self) -> None:
         with _VALUE_LOCK:
@@ -183,6 +199,7 @@ class Histogram:
             self.total = 0
             self.min = self.max = None
             self.buckets = [0] * (len(self.bounds) + 1)
+            self.exemplar = None
 
     def __repr__(self) -> str:
         return (f"Histogram({self.name}: n={self.count}, "

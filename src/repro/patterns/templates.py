@@ -151,7 +151,7 @@ class _CompiledTemplate:
             origin = trace.Origin(None, label, SourceSpan())
         replay = _Replay(self, ctx, values, renames, origin)
         origins.append(origin)
-        tracer = trace.active
+        tracer = trace.current()
         span = tracer.begin("template", label, template=label) \
             if tracer is not None else None
         try:

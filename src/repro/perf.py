@@ -22,6 +22,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs import log as _obs_log
 from repro.obs import metrics as _metrics
 from repro.obs.metrics import REGISTRY, Histogram, sanitize_name
 
@@ -280,10 +281,55 @@ class Profiler:
                     + (f"  ({stats.evictions} evicted)" if stats.evictions
                        else "")
                 )
+        module_lines = self._render_module_cache()
+        if module_lines:
+            lines.extend(module_lines)
+        artifact_lines = self._render_artifact_cache()
+        if artifact_lines:
+            lines.extend(artifact_lines)
         ic_lines = self._render_inline_caches()
         if ic_lines:
             lines.extend(ic_lines)
         return "\n".join(lines)
+
+    @staticmethod
+    def _render_module_cache() -> List[str]:
+        """The module builder's incremental-cache section (empty when
+        no module-mode build ran): recompiled vs. reused counts and the
+        reuse ratio — the numbers ``--module-report`` prints per build,
+        totalled process-wide."""
+        compiled_family = REGISTRY.get("maya_modules_compiled_total")
+        reused_family = REGISTRY.get("maya_modules_reused_total")
+        compiled = compiled_family.value if compiled_family is not None else 0
+        reused = reused_family.value if reused_family is not None else 0
+        total = compiled + reused
+        if not total:
+            return []
+        return [
+            "module cache (incremental builds):",
+            f"  modules compiled       {compiled:>8}",
+            f"  modules reused         {reused:>8}",
+            f"  reuse ratio            {reused / total:>7.1%}",
+        ]
+
+    @staticmethod
+    def _render_artifact_cache() -> List[str]:
+        """The daemon's content-addressed artifact cache section (empty
+        outside a daemon process or before any compile request)."""
+        family = REGISTRY.get("maya_server_artifact_cache_events_total")
+        if family is None:
+            return []
+        events = {labels[0]: child.value for labels, child in family.samples()}
+        hits = events.get("hit", 0)
+        misses = events.get("miss", 0)
+        lookups = hits + misses
+        if not lookups:
+            return []
+        return [
+            "artifact cache (daemon responses):",
+            f"  {'artifacts':<22} {hits:>8} hits {misses:>6} misses  "
+            f"{hits / lookups:6.1%}",
+        ]
 
     @staticmethod
     def _render_inline_caches() -> List[str]:
@@ -333,14 +379,29 @@ def deactivate() -> None:
 def phase(name: str) -> Iterator[None]:
     """Time a compiler phase under the active profiler, if any.  Always
     maintains the current-phase stack so phase-attributed metrics (the
-    laziness profiler) work without a Profiler."""
+    laziness profiler) work without a Profiler.
+
+    When a request context is bound (a daemon worker executing one
+    request — see :mod:`repro.obs.log`), the phase's wall-clock is also
+    accumulated onto that request, so the response can report where its
+    time went even with no profiler active."""
     _metrics.push_phase(name)
     profiler = active
-    try:
-        if profiler is None:
+    context = _obs_log.current_request()
+    if profiler is None and context is None:
+        try:
             yield
-        else:
-            with profiler.timed(name):
-                yield
+        finally:
+            _metrics.pop_phase()
+        return
+    start = time.perf_counter()
+    try:
+        yield
     finally:
+        elapsed = time.perf_counter() - start
+        if profiler is not None:
+            _PHASE_SECONDS.labels(name).inc(elapsed)
+            _PHASE_RUNS.labels(name).inc()
+        if context is not None:
+            context.add_phase(name, elapsed)
         _metrics.pop_phase()

@@ -14,22 +14,29 @@ Options:
     --table-cache DIR  persist LALR tables under DIR (MAYA_TABLE_CACHE)
     --port-file FILE   write the bound address to FILE once serving
                        (for scripts using --port 0)
-    --metrics-out FILE write a JSON metrics snapshot on shutdown
+    --metrics-out FILE JSON metrics snapshot target: written on
+                       shutdown, and *live* on SIGUSR1 or any `stats`
+                       op (``mayac --daemon-status`` refreshes it)
+    --log-out FILE     mirror the structured event log to FILE as JSONL
+                       (a flight recorder; same schema as --trace-out)
+    --log-level LEVEL  event-log threshold (debug/info/warn/error)
+    --slow-ms MS       slow-request log threshold (default 1000)
+    --no-trace-requests  disable per-request span tracing
 
 The daemon serves until SIGINT/SIGTERM, then drains and exits 0.
-Fault injection for drills: set MAYA_FAULTS (see repro.faults).
+SIGUSR1 flushes a fresh metrics snapshot to --metrics-out without
+stopping anything.  Fault injection for drills: set MAYA_FAULTS (see
+repro.faults).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import signal
 import sys
 import threading
 
-from repro.obs import export as obs_export
-from repro.obs.metrics import REGISTRY
+from repro.obs import log as obs_log
 from repro.server.client import DEFAULT_PORT
 from repro.server.daemon import DaemonConfig, MayaDaemon
 
@@ -50,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--table-cache", metavar="DIR")
     parser.add_argument("--port-file", metavar="FILE")
     parser.add_argument("--metrics-out", metavar="FILE")
+    parser.add_argument("--log-out", metavar="FILE")
+    parser.add_argument("--log-level", choices=sorted(obs_log.LEVELS),
+                        default=None)
+    parser.add_argument("--slow-ms", type=float, default=1000.0,
+                        metavar="MS")
+    parser.add_argument("--no-trace-requests", action="store_true")
     return parser
 
 
@@ -63,7 +76,11 @@ def main(argv=None) -> int:
         host=args.host, port=args.port, socket_path=args.socket,
         workers=args.workers, queue_size=args.queue_size,
         default_deadline_s=args.deadline,
-        max_deadline_s=args.max_deadline, prewarm=not args.no_prewarm)
+        max_deadline_s=args.max_deadline, prewarm=not args.no_prewarm,
+        trace_requests=not args.no_trace_requests,
+        slow_request_ms=args.slow_ms,
+        metrics_out=args.metrics_out,
+        log_out=args.log_out, log_level=args.log_level)
     daemon = MayaDaemon(config)
     try:
         daemon.start()
@@ -85,15 +102,19 @@ def main(argv=None) -> int:
 
     signal.signal(signal.SIGINT, _signalled)
     signal.signal(signal.SIGTERM, _signalled)
+    if hasattr(signal, "SIGUSR1"):
+        # Live introspection without a client: kill -USR1 flushes the
+        # current metrics to --metrics-out (a no-op when unset).
+        def _flush(_signum, _frame):
+            daemon.flush_metrics()
+
+        signal.signal(signal.SIGUSR1, _flush)
     # Wake on a signal or on a client-initiated shutdown op.
     while not stop.is_set() and daemon.running:
         stop.wait(0.5)
     print("mayad: draining and stopping", file=sys.stderr)
     daemon.stop()
-    if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as out:
-            json.dump(obs_export.to_json(REGISTRY), out, indent=2)
-            out.write("\n")
+    daemon.flush_metrics()
     return 0
 
 

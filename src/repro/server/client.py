@@ -17,6 +17,7 @@ import socket
 import time
 from typing import Optional
 
+from repro.obs import log as obs_log
 from repro.obs.metrics import REGISTRY
 from repro.server import protocol
 
@@ -102,8 +103,19 @@ class MayaClient:
 
     def request(self, op: str, **payload) -> dict:
         """Send one request, retrying transient failures with jittered
-        exponential backoff.  Returns the (possibly non-OK) response."""
+        exponential backoff.  Returns the (possibly non-OK) response.
+
+        The client mints the ``trace_id`` — one per *logical* request,
+        minted before the first attempt, so every retry (and the
+        daemon-side degraded re-run of any attempt) shares it.  A
+        caller already inside a request scope propagates that scope's
+        trace instead.
+        """
         payload = {"op": op, **payload}
+        if "trace_id" not in payload:
+            context = obs_log.current_request()
+            payload["trace_id"] = (context.trace_id if context is not None
+                                   else obs_log.mint_trace_id())
         attempt = 0
         while True:
             reason = None
@@ -123,6 +135,9 @@ class MayaClient:
             if attempt >= self.retries:
                 return response
             RETRIES.labels(reason=reason).inc()
+            obs_log.emit("client.retry", level="warn", op=op,
+                         reason=reason, attempt=attempt + 1,
+                         trace_id=payload["trace_id"])
             time.sleep(self._backoff(attempt, response
                                      if reason != "connection" else None))
             attempt += 1
@@ -156,6 +171,15 @@ class MayaClient:
 
     def ping(self) -> dict:
         return self.request("ping")
+
+    def stats(self) -> dict:
+        """The daemon's live introspection snapshot (``stats`` op)."""
+        response = self.request("stats")
+        if response.get("status") != protocol.STATUS_OK:
+            raise DaemonError("stats request failed",
+                              status=str(response.get("status")),
+                              response=response)
+        return response
 
     def metrics(self) -> dict:
         response = self.request("metrics")

@@ -43,18 +43,21 @@ shared codegen cache); captured output rides back on the response.
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import queue as queue_mod
 import socket
 import threading
 import time
-from typing import List, Optional
+from collections import deque
+from typing import Dict, List, Optional
 
-from repro import faults
+from repro import faults, trace
 from repro.core.env import CompileEnv
 from repro.diag import CompileFailed, DeadlineExceededError, DiagnosticError
 from repro.lalr import tables as lalr_tables
 from repro.obs import export as obs_export
+from repro.obs import log as obs_log
 from repro.obs.metrics import REGISTRY
 from repro.server import protocol, state
 from repro.server.protocol import (
@@ -106,7 +109,13 @@ class DaemonConfig:
                  max_errors_cap: int = 200,
                  artifact_cache_size: int = 256, prewarm: bool = True,
                  codegen_cache_dir: Optional[str] = None,
-                 module_cache_dir: Optional[str] = None):
+                 module_cache_dir: Optional[str] = None,
+                 trace_requests: bool = True,
+                 slow_request_ms: float = 1000.0,
+                 latency_window: int = 512,
+                 metrics_out: Optional[str] = None,
+                 log_out: Optional[str] = None,
+                 log_level: Optional[str] = None):
         self.host = host
         self.port = port
         self.socket_path = socket_path
@@ -130,15 +139,34 @@ class DaemonConfig:
         self.module_cache_dir = (module_cache_dir
                                  or os.environ.get("MAYA_MODULE_CACHE")
                                  or None)
+        #: Per-request span tracing: every compile runs under its own
+        #: scoped tracer (workers never interleave spans), so a slow
+        #: request's span-tree breakdown is available the moment it
+        #: finishes.  Off saves ~1-2% on the warm path.
+        self.trace_requests = trace_requests
+        #: Requests slower than this end-to-end (queue wait included)
+        #: land in the slow-request log with their span breakdown.
+        self.slow_request_ms = slow_request_ms
+        #: The rolling latency reservoir the ``stats`` op computes its
+        #: p50/p95/p99 from (most recent N compile requests).
+        self.latency_window = max(16, latency_window)
+        #: When set, the ``stats`` op and SIGUSR1 flush a fresh JSON
+        #: metrics snapshot here — live introspection, not post-mortem.
+        self.metrics_out = metrics_out
+        #: Event-log file sink and threshold for this daemon process.
+        self.log_out = log_out
+        self.log_level = log_level
 
 
 class _Request:
     """One queued compile: payload plus its result future."""
 
     __slots__ = ("payload", "options", "received", "deadline", "done",
-                 "response", "abandoned", "worker", "degraded", "_lock")
+                 "response", "abandoned", "worker", "degraded", "_lock",
+                 "context", "breakdown")
 
-    def __init__(self, payload: dict, deadline: float):
+    def __init__(self, payload: dict, deadline: float,
+                 context: Optional["obs_log.RequestContext"] = None):
         self.payload = payload
         self.options = payload.get("options") or {}
         self.received = time.monotonic()
@@ -149,6 +177,14 @@ class _Request:
         self.worker: Optional["_Worker"] = None
         self.degraded = False
         self._lock = threading.Lock()
+        #: The request context every thread touching this request binds
+        #: (handler, worker, degraded re-run) — one shared object, so
+        #: phase timings and outcomes accumulate in one place.
+        self.context = context if context is not None \
+            else obs_log.RequestContext()
+        #: Span-tree summary captured by the executing worker when
+        #: per-request tracing is on (feeds the slow-request log).
+        self.breakdown: Optional[List[dict]] = None
 
     def resolve(self, response: dict) -> bool:
         """First writer wins; later resolutions (a zombie worker
@@ -188,6 +224,16 @@ class MayaDaemon:
         self._running = False
         self._started_at = 0.0
         self.prewarm_s = 0.0
+        #: Zombie workers still grinding past their request's deadline
+        #: (marked by _contain_overdue, reaped by _retire).
+        self._zombies: List[_Worker] = []
+        #: Rolling end-to-end latencies (ms) of recent compile requests
+        #: — the ``stats`` op's p50/p95/p99 come from here, so they
+        #: reflect *current* behavior, not the process lifetime.
+        self._latencies: "deque[float]" = deque(
+            maxlen=self.config.latency_window)
+        #: The most recent slow requests (span breakdown included).
+        self.slow_requests: "deque[dict]" = deque(maxlen=32)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -216,6 +262,10 @@ class MayaDaemon:
         self._listener.listen(64)
         self._running = True
         self._started_at = time.monotonic()
+        if self.config.log_level:
+            obs_log.LOG.set_level(self.config.log_level)
+        if self.config.log_out:
+            obs_log.LOG.set_sink(self.config.log_out)
         if self.config.codegen_cache_dir:
             from repro.interp import pycodegen
 
@@ -228,6 +278,9 @@ class MayaDaemon:
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="mayad-accept", daemon=True)
         self._accept_thread.start()
+        obs_log.emit("server.start", address=self.address,
+                     workers=self.config.workers,
+                     prewarm_ms=round(self.prewarm_s * 1000.0, 1))
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -324,6 +377,28 @@ class MayaDaemon:
 
     def _dispatch(self, request: dict) -> dict:
         op = str(request.get("op", ""))
+        # The daemon mints the request ID; the *client* mints the trace
+        # ID (top-level or under options), so one logical request keeps
+        # one trace across retries and degraded re-runs.  A malformed
+        # trace ID is ignored, never an error: tracing must not be able
+        # to fail a compile.
+        trace_id = request.get("trace_id")
+        if trace_id is None and isinstance(request.get("options"), dict):
+            trace_id = request["options"].get("trace_id")
+        if not (isinstance(trace_id, str)
+                and obs_log.TRACE_ID_RE.match(trace_id)):
+            trace_id = None
+        context = obs_log.RequestContext(trace_id=trace_id)
+        with obs_log.request_scope(context):
+            response = self._dispatch_op(op, request)
+        # Every response names the request that produced it.  Cached
+        # artifact responses had their original IDs stripped at store
+        # time, so setdefault always stamps the *current* request's.
+        response.setdefault("request_id", context.request_id)
+        response.setdefault("trace_id", context.trace_id)
+        return response
+
+    def _dispatch_op(self, op: str, request: dict) -> dict:
         if op == "ping":
             REQUESTS.labels(op="ping", status=STATUS_OK).inc()
             return self._ping_response()
@@ -332,6 +407,9 @@ class MayaDaemon:
             return {"protocol": protocol.PROTOCOL_VERSION,
                     "status": STATUS_OK,
                     "metrics": obs_export.to_json(REGISTRY)}
+        if op == "stats":
+            REQUESTS.labels(op="stats", status=STATUS_OK).inc()
+            return self._stats_response()
         if op == "shutdown":
             REQUESTS.labels(op="shutdown", status=STATUS_OK).inc()
             return {"protocol": protocol.PROTOCOL_VERSION,
@@ -357,6 +435,129 @@ class MayaDaemon:
             "artifact_epoch": self.artifacts.epoch,
             "faults": faults.active_plan().spec,
         }
+
+    # -- live introspection ------------------------------------------------
+
+    def _stats_response(self) -> dict:
+        """The ``stats`` op: one structured snapshot of everything the
+        daemon knows about itself *right now* — worker states, queue,
+        rolling latency percentiles, degradation counters, cache hit
+        ratios — rendered by ``mayac --daemon-status`` and the
+        ``repro.server.top`` watch view."""
+        with self._pool_lock:
+            busy = sum(1 for w in self._workers if w.current is not None)
+            live = len(self._workers)
+            zombies = len(self._zombies)
+        latencies = sorted(self._latencies)
+        requests_by: Dict[str, Dict[str, float]] = {}
+        for labels, child in REQUESTS.samples():
+            op, status = labels
+            requests_by.setdefault(op, {})[status] = child.value
+        stats = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "status": STATUS_OK,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "address": self.address,
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self.config.queue_size,
+            },
+            "workers": {
+                "configured": self.config.workers,
+                "live": live,
+                "busy": busy,
+                "idle": live - busy,
+                "zombies": zombies,
+                "replaced_total": int(_family_sum(
+                    "maya_server_workers_replaced_total")),
+            },
+            "latency_ms": {
+                "window": len(latencies),
+                "p50": _percentile(latencies, 50),
+                "p95": _percentile(latencies, 95),
+                "p99": _percentile(latencies, 99),
+            },
+            "degradations": {
+                "shed_total": int(_family_sum("maya_server_shed_total")),
+                "deadline_total": int(_family_sum(
+                    "maya_server_deadline_total")),
+                "crashes": {
+                    labels[0]: int(child.value)
+                    for labels, child in CRASHES.samples()
+                },
+                "disconnects_total": int(_family_sum(
+                    "maya_server_client_disconnects_total")),
+            },
+            "requests": requests_by,
+            "caches": self._cache_stats(),
+            "modules": {
+                "compiled_total": int(_family_sum(
+                    "maya_modules_compiled_total")),
+                "reused_total": int(_family_sum(
+                    "maya_modules_reused_total")),
+            },
+            "slow_requests": list(self.slow_requests),
+            "slow_request_ms": self.config.slow_request_ms,
+            "log": {"level": obs_log.LOG.level,
+                    "emitted": obs_log.LOG.emitted,
+                    "buffered": len(obs_log.LOG)},
+            "faults": faults.active_plan().spec,
+        }
+        if self.config.metrics_out:
+            # satellite contract: a live `stats` op flushes a fresh
+            # metrics snapshot to disk, same as SIGUSR1.
+            stats["metrics_out"] = self.flush_metrics()
+        return stats
+
+    def _cache_stats(self) -> Dict[str, dict]:
+        """Per-cache hit/miss/ratio, from the shared-cache and artifact
+        event families, plus current epoch numbers."""
+        caches: Dict[str, dict] = {}
+        family = REGISTRY.get("maya_cache_events_total")
+        if family is not None:
+            for labels, child in family.samples():
+                cache, event = labels
+                caches.setdefault(cache, {})[event] = int(child.value)
+        artifact: Dict[str, int] = {}
+        family = REGISTRY.get("maya_server_artifact_cache_events_total")
+        if family is not None:
+            for labels, child in family.samples():
+                artifact[labels[0]] = int(child.value)
+        if artifact:
+            caches["artifact"] = artifact
+        for name, stats in caches.items():
+            hits = stats.get("hit", 0)
+            misses = stats.get("miss", 0)
+            if hits + misses:
+                stats["hit_ratio"] = round(hits / (hits + misses), 4)
+        epochs: Dict[str, float] = {}
+        family = REGISTRY.get("maya_server_cache_epoch")
+        if family is not None:
+            for labels, child in family.samples():
+                epochs[labels[0]] = child.value
+        epochs["artifact"] = self.artifacts.epoch
+        caches["epochs"] = epochs
+        return caches
+
+    def flush_metrics(self, path: Optional[str] = None) -> Optional[str]:
+        """Write a fresh JSON metrics snapshot to ``path`` (default:
+        the configured ``metrics_out``) — the live ``--metrics-out``:
+        the ``stats`` op and SIGUSR1 both land here.  Atomic via
+        tmp-and-rename; returns the path written, or None."""
+        path = path or self.config.metrics_out
+        if not path:
+            return None
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(obs_export.to_json(REGISTRY), handle, indent=2,
+                      default=str)
+            handle.write("\n")
+        os.replace(tmp, path)
+        obs_log.emit("server.metrics.flush", level="debug", path=path)
+        return path
 
     # -- compile path ------------------------------------------------------
 
@@ -409,7 +610,12 @@ class MayaDaemon:
                                   "'deadline_ms' must be a number")
         deadline_s = min(max(deadline_s, 0.001), self.config.max_deadline_s)
         started = time.monotonic()
-        request = _Request(payload, deadline=started + deadline_s)
+        context = obs_log.current_request() or obs_log.RequestContext()
+        request = _Request(payload, deadline=started + deadline_s,
+                           context=context)
+        obs_log.emit("server.request.received", filename=filename,
+                     deadline_ms=round(deadline_s * 1000.0, 1),
+                     queue_depth=self._queue.qsize())
 
         # Content-addressed artifact cache: a hit skips the queue
         # entirely (the cached response *is* the right answer).
@@ -418,15 +624,26 @@ class MayaDaemon:
             key = state.artifact_key(source, filename, options)
             cached = self.artifacts.lookup(key)
             if cached is not None:
-                cached["stats"] = {"cached": True, "wait_ms": 0.0}
-                REQUEST_MS.observe((time.monotonic() - started) * 1000.0)
+                elapsed_ms = (time.monotonic() - started) * 1000.0
+                context.note(artifact="hit")
+                cached["stats"] = {"cached": True, "wait_ms": 0.0,
+                                   "outcomes": dict(context.outcomes)}
+                REQUEST_MS.observe(elapsed_ms)
+                self._latencies.append(elapsed_ms)
+                obs_log.emit("server.request.done", status=STATUS_OK,
+                             cached=True, total_ms=round(elapsed_ms, 3))
                 return cached
+            context.note(artifact="miss")
+        else:
+            context.note(artifact="bypass")
 
         # Admission control: a full queue sheds *now*, with a hint.
         try:
             self._queue.put_nowait(request)
         except queue_mod.Full:
             SHED.inc()
+            obs_log.emit("server.request.shed", level="warn",
+                         queue_depth=self.config.queue_size)
             return error_response(
                 STATUS_OVERLOADED,
                 f"compile queue is full ({self.config.queue_size} deep); "
@@ -441,6 +658,9 @@ class MayaDaemon:
             request.abandoned = True
             DEADLINES.inc()
             self._contain_overdue(request)
+            obs_log.emit("server.request.deadline", level="warn",
+                         deadline_ms=round(deadline_s * 1000.0, 1),
+                         abandoned=True)
             return error_response(
                 STATUS_DEADLINE,
                 f"request exceeded its {deadline_s * 1000:.0f}ms deadline",
@@ -448,6 +668,7 @@ class MayaDaemon:
         response = request.response
         elapsed_ms = (time.monotonic() - started) * 1000.0
         REQUEST_MS.observe(elapsed_ms)
+        self._latencies.append(elapsed_ms)
         if response.get("status") == STATUS_DEADLINE:
             # Cooperative trip inside the grace window (the abandoned
             # path above counted its own).
@@ -460,9 +681,52 @@ class MayaDaemon:
             self.artifacts.store(key, response)
         stats = response.setdefault("stats", {})
         stats["total_ms"] = round(elapsed_ms, 3)
+        phases = context.phase_ms()
+        if phases:
+            stats["phases"] = phases
+        if context.outcomes:
+            stats["outcomes"] = dict(context.outcomes)
+        obs_log.emit("server.request.done",
+                     status=str(response.get("status")),
+                     total_ms=round(elapsed_ms, 3),
+                     degraded=bool(response.get("degraded")))
+        if elapsed_ms >= self.config.slow_request_ms:
+            self._record_slow(request, response, elapsed_ms)
         return response
 
+    def _record_slow(self, request: _Request, response: dict,
+                     elapsed_ms: float) -> None:
+        """Capture a finished slow request (span-tree breakdown
+        included) into the rolling slow-request log."""
+        entry = {
+            "request_id": request.context.request_id,
+            "trace_id": request.context.trace_id,
+            "filename": request.payload.get("filename") or "<daemon>",
+            "status": str(response.get("status")),
+            "total_ms": round(elapsed_ms, 3),
+            "phases": request.context.phase_ms(),
+            "outcomes": dict(request.context.outcomes),
+            "breakdown": request.breakdown or [],
+        }
+        self.slow_requests.append(entry)
+        obs_log.emit("server.request.slow", level="warn",
+                     total_ms=round(elapsed_ms, 3),
+                     threshold_ms=self.config.slow_request_ms,
+                     spans=len(entry["breakdown"]))
+
     def _execute(self, request: _Request, degraded: bool = False) -> dict:
+        """Run one compile, under a per-request scoped tracer when
+        tracing is on (the span-tree breakdown feeds the slow-request
+        log; contextvars keep concurrent workers' spans apart)."""
+        if not self.config.trace_requests:
+            return self._execute_inner(request, degraded)
+        with trace.scoped() as tracer:
+            response = self._execute_inner(request, degraded)
+        request.breakdown = _span_breakdown(tracer)
+        return response
+
+    def _execute_inner(self, request: _Request,
+                       degraded: bool = False) -> dict:
         """Run one compile in a fresh, isolated environment."""
         payload = request.payload
         options = request.options
@@ -540,6 +804,9 @@ class MayaDaemon:
         if degraded:
             response["degraded"] = True
         if modules_result is not None:
+            request.context.note(
+                modules_recompiled=len(modules_result.recompiled),
+                modules_reused=len(modules_result.reused))
             response["modules"] = {
                 "order": modules_result.order,
                 "recompiled": modules_result.recompiled,
@@ -585,6 +852,11 @@ class MayaDaemon:
         cls = str(options.get("run"))
         backend = str(options.get("backend") or "pycode")
         run_started = time.perf_counter()
+        # Per-request IC/deopt counts are before/after deltas of the
+        # process-wide families (approximate when runs overlap across
+        # workers, exact in the common serial case).
+        ic_before = _family_sum("maya_interp_ic_events_total")
+        deopts_before = _family_sum("maya_interp_codegen_deopts_total")
         try:
             interp = Interpreter(program, backend=backend)
         except Exception as error:
@@ -601,6 +873,14 @@ class MayaDaemon:
             result["error"] = str(error)
         result["run_ms"] = round(
             (time.perf_counter() - run_started) * 1000.0, 3)
+        context = obs_log.current_request()
+        if context is not None:
+            context.note(
+                ic_events=int(_family_sum("maya_interp_ic_events_total")
+                              - ic_before),
+                codegen_deopts=int(
+                    _family_sum("maya_interp_codegen_deopts_total")
+                    - deopts_before))
         return result
 
     @staticmethod
@@ -660,18 +940,27 @@ class MayaDaemon:
                 continue
             worker.current = request
             request.worker = worker
-            try:
-                response = self._execute(request)
-            except faults.WorkerCrash:
-                worker.current = None
-                self._contain_crash(worker, request)
-                return  # this worker is dead
-            except Exception as error:
-                # An escaped non-diagnostic error is a server bug, but
-                # it is *this request's* problem only.
-                response = error_response(
-                    STATUS_INTERNAL,
-                    f"{type(error).__name__}: {error}")
+            # Re-bind the request's own context on this thread: every
+            # event, span, phase timing, and diagnostic the compile
+            # produces carries the request's IDs.
+            with obs_log.request_scope(request.context):
+                obs_log.emit(
+                    "server.request.start", level="debug",
+                    worker=worker.name,
+                    wait_ms=round((time.monotonic() - request.received)
+                                  * 1000.0, 3))
+                try:
+                    response = self._execute(request)
+                except faults.WorkerCrash:
+                    worker.current = None
+                    self._contain_crash(worker, request)
+                    return  # this worker is dead
+                except Exception as error:
+                    # An escaped non-diagnostic error is a server bug,
+                    # but it is *this request's* problem only.
+                    response = error_response(
+                        STATUS_INTERNAL,
+                        f"{type(error).__name__}: {error}")
             worker.current = None
             request.resolve(response)
             if worker.zombie:
@@ -683,10 +972,17 @@ class MayaDaemon:
             if worker in self._workers:
                 self._workers.remove(worker)
                 WORKERS.dec()
+            elif worker in self._zombies:
+                # Zombies left the live pool (and its gauge) when they
+                # were marked; finishing just reaps the bookkeeping.
+                self._zombies.remove(worker)
 
     def _contain_crash(self, worker: _Worker, request: _Request) -> None:
         """A worker died executing ``request``: replace the worker and
         quarantine the request for one degraded re-run."""
+        obs_log.emit("server.worker.crash", level="error",
+                     worker=worker.name,
+                     degraded_already=request.degraded)
         self._retire(worker)
         if self._running:
             with self._pool_lock:
@@ -703,19 +999,24 @@ class MayaDaemon:
         request.degraded = True
 
         def rerun() -> None:
-            try:
-                response = self._execute(request, degraded=True)
-            except faults.WorkerCrash:
-                CRASHES.labels(outcome="degraded_failed").inc()
-                response = error_response(
-                    STATUS_WORKER_CRASHED,
-                    "request crashed its worker twice (original and "
-                    "degraded re-run); giving up")
-            except Exception as error:
-                response = error_response(
-                    STATUS_INTERNAL,
-                    f"degraded re-run failed: "
-                    f"{type(error).__name__}: {error}")
+            # Same request, new thread: re-bind the same context so the
+            # degraded re-run's events join the original's trail.
+            with obs_log.request_scope(request.context):
+                obs_log.emit("server.request.degraded", level="warn",
+                             worker=worker.name)
+                try:
+                    response = self._execute(request, degraded=True)
+                except faults.WorkerCrash:
+                    CRASHES.labels(outcome="degraded_failed").inc()
+                    response = error_response(
+                        STATUS_WORKER_CRASHED,
+                        "request crashed its worker twice (original and "
+                        "degraded re-run); giving up")
+                except Exception as error:
+                    response = error_response(
+                        STATUS_INTERNAL,
+                        f"degraded re-run failed: "
+                        f"{type(error).__name__}: {error}")
             request.resolve(response)
 
         threading.Thread(target=rerun, name="mayad-quarantine",
@@ -733,8 +1034,12 @@ class MayaDaemon:
             worker.zombie = True
             WORKERS.dec()
             self._workers.remove(worker)
+            self._zombies.append(worker)
             self._spawn_worker_locked()
         REPLACED.inc()
+        obs_log.emit("server.worker.zombie", level="warn",
+                     worker=worker.name,
+                     **request.context.ids())
 
 
 def _bounded_int(value, cap: int) -> Optional[int]:
@@ -744,3 +1049,45 @@ def _bounded_int(value, cap: int) -> Optional[int]:
         return max(1, min(int(value), cap))
     except (TypeError, ValueError):
         return None
+
+
+def _family_sum(name: str) -> float:
+    """The summed value of a metric family's children (0.0 when the
+    family does not exist yet)."""
+    family = REGISTRY.get(name)
+    if family is None:
+        return 0.0
+    return sum(child.value for _, child in family.samples())
+
+
+def _percentile(sorted_values: List[float], pct: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(pct / 100.0 * len(sorted_values))) - 1))
+    return round(sorted_values[rank], 3)
+
+
+def _span_breakdown(tracer: "trace.Tracer",
+                    max_spans: int = 48) -> List[dict]:
+    """A compact pre-order span-tree summary for the slow-request log:
+    depth-tagged, attribute-free, capped so a pathological expansion
+    cannot bloat the rolling log."""
+    breakdown: List[dict] = []
+
+    def walk(span, depth: int) -> None:
+        if len(breakdown) >= max_spans:
+            return
+        breakdown.append({
+            "kind": span.kind,
+            "name": span.name,
+            "depth": depth,
+            "dur_ms": round(span.duration * 1000.0, 3),
+        })
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for root in tracer.roots:
+        walk(root, 0)
+    return breakdown

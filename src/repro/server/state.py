@@ -129,8 +129,11 @@ class ArtifactCache:
         return response
 
     def store(self, key: str, response: dict) -> None:
+        # Per-request annotations never enter the shared entry: stats
+        # are re-stamped per hit, and the ids must be the *hitting*
+        # request's, not the one that happened to populate the cache.
         entry = {k: v for k, v in response.items()
-                 if k not in ("cached", "stats")}
+                 if k not in ("cached", "stats", "request_id", "trace_id")}
         self._cache.publish(key, entry)
 
 

@@ -28,12 +28,14 @@ plus a ``None`` check, so ``--trace`` off stays off the hot paths.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
 from repro.diag import SourceSpan
+from repro.obs import log as obs_log
 from repro.obs.metrics import REGISTRY
 
 #: How many origin links a diagnostic renders before eliding.
@@ -197,13 +199,23 @@ class Span:
 
 
 class Tracer:
-    """Collects a tree of spans for one or more compiles."""
+    """Collects a tree of spans for one or more compiles.
+
+    A tracer constructed under a bound request context (see
+    :mod:`repro.obs.log`) captures the request's IDs, and every
+    exported span record carries them — the trace tree of a daemon
+    request is joinable against the event log and the response by
+    ``request_id``.
+    """
 
     def __init__(self):
         self.roots: List[Span] = []
         self.stack: List[Span] = []
         self._next_id = 0
         self._epoch = time.perf_counter()
+        context = obs_log.current_request()
+        self.request_id = context.request_id if context else None
+        self.trace_id = context.trace_id if context else None
 
     # -- recording -------------------------------------------------------
 
@@ -259,7 +271,7 @@ class Tracer:
         """Span records in pre-order (parents before children)."""
         records = []
         for span in self.iter_spans():
-            records.append({
+            record = {
                 "type": "span",
                 "id": span.id,
                 "parent": span.parent_id,
@@ -268,14 +280,23 @@ class Tracer:
                 "start_ms": round((span.start - self._epoch) * 1e3, 3),
                 "dur_ms": round(span.duration * 1e3, 3),
                 "attrs": span.attrs,
-            })
+            }
+            if self.request_id is not None:
+                record["request_id"] = self.request_id
+                record["trace_id"] = self.trace_id
+            records.append(record)
         return records
 
     def to_jsonl(self, metrics: Optional[Dict[str, object]] = None) -> str:
         """The whole trace as JSON Lines: one header record, one record
         per span, and a final metrics record."""
-        lines = [json.dumps({"type": "trace", "version": 1,
-                             "spans": sum(1 for _ in self.iter_spans())})]
+        header: Dict[str, object] = {
+            "type": "trace", "version": 1,
+            "spans": sum(1 for _ in self.iter_spans())}
+        if self.request_id is not None:
+            header["request_id"] = self.request_id
+            header["trace_id"] = self.trace_id
+        lines = [json.dumps(header)]
         for record in self.to_records():
             lines.append(json.dumps(record, default=str))
         if metrics is not None:
@@ -310,9 +331,23 @@ class Tracer:
         return "\n".join(lines)
 
 
-#: The currently active tracer, or None (the common case).  Hot paths
-#: read this once and skip all trace work when it is None.
+#: The process-wide active tracer, or None (the common case) — set by
+#: ``mayac --trace``/``--trace-out``.  Hot paths read :func:`current`,
+#: which checks the request-scoped override first.
 active: Optional[Tracer] = None
+
+#: A request-scoped tracer override: the daemon activates one tracer
+#: *per request* in the worker executing it (contextvars do not leak
+#: across threads, so concurrent workers never interleave spans).
+_scoped: "contextvars.ContextVar[Optional[Tracer]]" = \
+    contextvars.ContextVar("maya_scoped_tracer", default=None)
+
+
+def current() -> Optional[Tracer]:
+    """The tracer in effect here: the request-scoped one if a scope is
+    active, else the process-wide one, else None."""
+    tracer = _scoped.get()
+    return tracer if tracer is not None else active
 
 
 def activate(tracer: Optional[Tracer] = None) -> Tracer:
@@ -327,9 +362,22 @@ def deactivate() -> None:
 
 
 @contextmanager
+def scoped(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Activate ``tracer`` for this dynamic extent only (the daemon's
+    per-request tracing; nested scopes restore the outer tracer)."""
+    if tracer is None:
+        tracer = Tracer()
+    token = _scoped.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _scoped.reset(token)
+
+
+@contextmanager
 def span(kind: str, name: str, **attrs) -> Iterator[Optional[Span]]:
     """Span context manager that no-ops when tracing is off."""
-    tracer = active
+    tracer = current()
     if tracer is None:
         yield None
     else:

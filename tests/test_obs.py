@@ -535,3 +535,244 @@ class TestCliTelemetry:
         match = re.search(r"(\d+) never forced \((\d+\.\d)%", err)
         assert match, err
         assert int(match.group(1)) > 0
+
+
+# ---------------------------------------------------------------------------
+# The structured event log and request context
+# ---------------------------------------------------------------------------
+
+import re  # noqa: E402
+import threading  # noqa: E402
+
+from repro.obs import log as obs_log  # noqa: E402
+from repro.obs.log import EventLog, RequestContext, request_scope  # noqa: E402
+
+
+class TestEventLog:
+    def test_levels_filter_below_threshold(self):
+        log = EventLog(level="info")
+        assert log.emit("noise", level="debug") is None
+        record = log.emit("signal", level="warn", detail=1)
+        assert record["name"] == "signal" and record["detail"] == 1
+        assert [r["name"] for r in log.records()] == ["signal"]
+        log.set_level("debug")
+        assert log.emit("noise", level="debug") is not None
+
+    def test_ring_is_bounded_but_emitted_is_monotone(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit(f"e{i}")
+        assert len(log) == 4
+        assert log.emitted == 10
+        assert [r["name"] for r in log.records()] == ["e6", "e7", "e8",
+                                                      "e9"]
+
+    def test_records_filter_by_name_prefix_and_request(self):
+        log = EventLog()
+        with request_scope() as context:
+            log.emit("server.request.received")
+            log.emit("server.worker.crash")
+        log.emit("server.request.received")  # outside any scope
+        assert len(log.records(name="server.request.")) == 2
+        scoped = log.records(request_id=context.request_id)
+        assert [r["name"] for r in scoped] == ["server.request.received",
+                                               "server.worker.crash"]
+
+    def test_scope_stamps_ids_and_explicit_fields_win(self):
+        log = EventLog()
+        with request_scope() as context:
+            stamped = log.emit("auto")
+            overridden = log.emit("manual", request_id="r-aaaaaaaaaaaa")
+        assert stamped["request_id"] == context.request_id
+        assert stamped["trace_id"] == context.trace_id
+        assert overridden["request_id"] == "r-aaaaaaaaaaaa"
+        bare = log.emit("outside")
+        assert "request_id" not in bare
+
+    def test_minted_ids_match_their_contracts(self):
+        assert obs_log.REQUEST_ID_RE.match(obs_log.mint_request_id())
+        assert obs_log.TRACE_ID_RE.match(obs_log.mint_trace_id())
+        assert not obs_log.REQUEST_ID_RE.match("r-XYZ")
+        assert not obs_log.TRACE_ID_RE.match("t-short")
+
+    def test_sink_is_a_flight_recorder(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink_path=str(path))
+        log.emit("one", n=1)
+        log.emit("two", n=2)
+        lines = [json.loads(line) for line in
+                 path.read_text(encoding="utf-8").splitlines()]
+        assert [r["name"] for r in lines] == ["one", "two"]
+        assert all(r["type"] == "event" for r in lines)
+        log.set_sink(None)
+        log.emit("three")  # ring only; the sink is closed
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 2
+
+    def test_bad_level_is_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(level="loud")
+        with pytest.raises(ValueError):
+            EventLog().set_level("silent")
+
+
+class TestRequestContext:
+    def test_phases_accumulate_and_round(self):
+        context = RequestContext()
+        context.add_phase("lex", 0.0101)
+        context.add_phase("lex", 0.0052)
+        context.add_phase("parse", 0.002)
+        assert context.phase_ms() == {"lex": 15.3, "parse": 2.0}
+
+    def test_note_merges_outcomes(self):
+        context = RequestContext()
+        context.note(artifact="miss")
+        context.note(modules_reused=3)
+        assert context.outcomes == {"artifact": "miss",
+                                    "modules_reused": 3}
+
+    def test_same_context_shared_across_threads(self):
+        # The daemon's handler/worker/degraded-rerun discipline: other
+        # threads re-bind the SAME object, so accumulation is shared.
+        context = RequestContext()
+
+        def worker():
+            with request_scope(context):
+                obs_log.current_request().add_phase("work", 0.001)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert context.phase_ms() == {"work": 1.0}
+
+    def test_contextvars_do_not_leak_across_threads(self):
+        seen = []
+
+        def probe():
+            seen.append(obs_log.current_request())
+
+        with request_scope():
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+            assert obs_log.current_request() is not None
+        assert seen == [None]
+        assert obs_log.current_request() is None
+
+    def test_nested_scopes_restore(self):
+        with request_scope() as outer:
+            with request_scope() as inner:
+                assert obs_log.current_request() is inner
+            assert obs_log.current_request() is outer
+
+
+class TestExemplars:
+    @staticmethod
+    def _sample(registry, name):
+        family = next(f for f in registry.snapshot()["families"]
+                      if f["name"] == name)
+        return family["samples"][0]
+
+    def test_histogram_exemplar_under_request_scope(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("obs_exemplar_ms", "t")
+        with request_scope() as context:
+            histogram.observe(7.0)
+        exemplar = self._sample(registry, "obs_exemplar_ms")["exemplar"]
+        assert exemplar == {"value": 7.0,
+                            "request_id": context.request_id,
+                            "trace_id": context.trace_id}
+
+    def test_no_exemplar_outside_scope(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("obs_plain_ms", "t")
+        histogram.observe(1.0)
+        assert "exemplar" not in self._sample(registry, "obs_plain_ms")
+
+    def test_exemplar_stays_out_of_prometheus_text(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("obs_prom_ms", "t")
+        with request_scope():
+            histogram.observe(3.0)
+        text = export.to_prometheus(registry)
+        assert "exemplar" not in text
+        assert "r-" not in text
+
+
+# ---------------------------------------------------------------------------
+# Concurrent exposition (the daemon exports while workers write)
+# ---------------------------------------------------------------------------
+
+_PROM_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$")
+
+
+class TestConcurrentExposition:
+    """Hammer counters/gauges/histograms from threads while exporting:
+    every exposition must stay parse-clean Prometheus 0.0.4 text, and
+    counters must read monotone across successive exports."""
+
+    WRITERS = 6
+
+    @staticmethod
+    def _assert_parse_clean(text: str) -> None:
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _PROM_SAMPLE_RE.match(line), f"unparseable: {line!r}"
+            value = line.rsplit(" ", 1)[1]
+            float(value)  # raises on torn/garbled values
+
+    @staticmethod
+    def _samples(text: str, prefix: str):
+        for line in text.splitlines():
+            if line.startswith(prefix) and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                yield name, float(value)
+
+    def test_exposition_under_concurrent_writes(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("obs_hammer_total", "writes",
+                                   ("lane",))
+        gauge = registry.gauge("obs_hammer_gauge", "level", ("lane",))
+        histogram = registry.histogram("obs_hammer_ms", "latencies",
+                                       bounds=(1, 2, 4, 8))
+        stop = threading.Event()
+        errors = []
+
+        def writer(lane: int) -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    counter.labels(str(lane)).inc()
+                    gauge.labels(str(lane)).set(i % 17)
+                    histogram.observe(float(i % 10))
+                    i += 1
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(lane,))
+                   for lane in range(self.WRITERS)]
+        for thread in threads:
+            thread.start()
+        last: dict = {}
+        try:
+            for _ in range(40):
+                text = export.to_prometheus(registry)
+                self._assert_parse_clean(text)
+                # Counters are monotone export-over-export.
+                for name, value in self._samples(text,
+                                                 "obs_hammer_total"):
+                    assert value >= last.get(name, 0.0), name
+                    last[name] = value
+                # Histogram buckets are cumulative within one export.
+                buckets = [v for _, v in self._samples(
+                    text, "obs_hammer_ms_bucket")]
+                assert buckets == sorted(buckets)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        # The writers made progress while exports were happening.
+        assert sum(last.values()) > 0

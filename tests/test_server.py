@@ -509,3 +509,188 @@ class TestEpochCache:
         # Options that don't affect output don't fragment the cache.
         assert artifact_key("class A { }", "a.maya",
                             {"deadline_ms": 5}) == base
+
+
+class TestRequestObservability:
+    """Request IDs, trace propagation, the stats op, and the
+    slow-request log."""
+
+    def test_every_response_carries_wellformed_ids(self, client):
+        from repro.obs import log as obs_log
+
+        responses = [
+            client.compile("class A { }", "a.maya", cache=False),
+            client.ping(),
+            client.request("metrics"),
+            client.request("nonsense-op"),
+        ]
+        for response in responses:
+            assert obs_log.REQUEST_ID_RE.match(response["request_id"])
+            assert obs_log.TRACE_ID_RE.match(response["trace_id"])
+        # Request IDs are per-attempt unique.
+        ids = [r["request_id"] for r in responses]
+        assert len(set(ids)) == len(ids)
+
+    def test_client_minted_trace_id_is_echoed(self, client):
+        response = client.request(
+            "compile", source="class A { }", filename="a.maya",
+            options={"cache": False}, trace_id="t-00000000deadbeef")
+        assert response["trace_id"] == "t-00000000deadbeef"
+        # A malformed trace id is ignored (the daemon mints a fresh
+        # well-formed one), never an error.
+        from repro.obs import log as obs_log
+
+        response = client.request(
+            "compile", source="class A { }", filename="a.maya",
+            options={"cache": False}, trace_id="not-a-trace")
+        assert response["status"] == "ok"
+        assert obs_log.TRACE_ID_RE.match(response["trace_id"])
+        assert response["trace_id"] != "not-a-trace"
+
+    def test_artifact_hit_gets_fresh_ids_and_hit_outcome(self, client):
+        first = client.compile("class Hit { }", "hit.maya")
+        second = client.compile("class Hit { }", "hit.maya")
+        assert second["stats"]["cached"] is True
+        assert second["request_id"] != first["request_id"]
+        assert second["trace_id"] != first["trace_id"]
+        assert second["stats"]["outcomes"]["artifact"] == "hit"
+        assert first["stats"]["outcomes"]["artifact"] == "miss"
+
+    def test_response_stats_carry_phases(self, client):
+        response = client.compile("class P { int f() { return 1; } }",
+                                  "p.maya", cache=False)
+        phases = response["stats"]["phases"]
+        assert "lex" in phases and "parse+expand" in phases
+        assert all(isinstance(v, float) for v in phases.values())
+
+    def test_stats_op_snapshot(self, client):
+        client.compile("class S { }", "s.maya", cache=False)
+        client.compile("class S { }", "s2.maya", cache=False)
+        stats = client.stats()
+        assert stats["status"] == "ok"
+        workers = stats["workers"]
+        assert workers["live"] == 2 and workers["zombies"] == 0
+        assert stats["queue"]["capacity"] == 8
+        latency = stats["latency_ms"]
+        assert latency["window"] >= 2
+        assert latency["p50"] > 0 and latency["p99"] >= latency["p50"]
+        assert stats["requests"]["compile"]["ok"] >= 2
+        assert "epochs" in stats["caches"]
+        assert stats["log"]["emitted"] > 0
+
+    def test_stats_op_flushes_metrics_out_live(self, tmp_path):
+        out = tmp_path / "live-metrics.json"
+        server = MayaDaemon(DaemonConfig(
+            workers=1, queue_size=4, prewarm=False,
+            metrics_out=str(out))).start()
+        try:
+            client = MayaClient(server.address, retries=0)
+            client.compile("class L { }", "l.maya", cache=False)
+            stats = client.stats()
+            # The daemon is still running, and the snapshot is on disk.
+            assert server.running
+            assert stats["metrics_out"] == str(out)
+            snapshot = json.loads(out.read_text(encoding="utf-8"))
+            assert "maya_server_requests_total" in json.dumps(snapshot)
+        finally:
+            server.stop()
+
+    def test_slow_request_log_captures_breakdown(self):
+        server = MayaDaemon(DaemonConfig(
+            workers=1, queue_size=4, prewarm=False,
+            slow_request_ms=0.0)).start()  # everything is "slow"
+        try:
+            client = MayaClient(server.address, retries=0)
+            response = client.compile("class Slow { }", "slow.maya",
+                                      cache=False)
+            stats = client.stats()
+            slow = stats["slow_requests"]
+            assert slow, "slow-request log is empty at threshold 0"
+            entry = slow[-1]
+            assert entry["request_id"] == response["request_id"]
+            assert entry["total_ms"] > 0
+            # Per-request tracing is on by default, so the entry has a
+            # span-tree breakdown with the compile phases in it.
+            kinds = {span["kind"] for span in entry["breakdown"]}
+            assert "compile" in kinds and "phase" in kinds
+            assert all("dur_ms" in span and "depth" in span
+                       for span in entry["breakdown"])
+        finally:
+            server.stop()
+
+    def test_trace_requests_off_skips_breakdown(self):
+        server = MayaDaemon(DaemonConfig(
+            workers=1, queue_size=4, prewarm=False,
+            trace_requests=False, slow_request_ms=0.0)).start()
+        try:
+            client = MayaClient(server.address, retries=0)
+            client.compile("class Fast { }", "fast.maya", cache=False)
+            entry = client.stats()["slow_requests"][-1]
+            assert entry["breakdown"] == []
+        finally:
+            server.stop()
+
+    def test_per_request_tracing_leaves_global_tracer_alone(self, client):
+        from repro import trace
+
+        assert trace.active is None
+        client.compile("class T { }", "t.maya", cache=False)
+        assert trace.active is None
+
+    def test_module_outcomes_in_response_stats(self, tmp_path):
+        sources = {
+            "lib.A": "class A { static int one() { return 1; } }",
+            "app.B": "import lib.A; class B { }",
+        }
+        server = MayaDaemon(DaemonConfig(
+            workers=2, queue_size=8, prewarm=False,
+            module_cache_dir=str(tmp_path))).start()
+        try:
+            client = MayaClient(server.address, retries=0)
+            first = client.compile_modules(sources, ["app.B"],
+                                           cache=False)
+            assert first["status"] == "ok"
+            assert first["stats"]["outcomes"]["modules_recompiled"] == 2
+            second = client.compile_modules(sources, ["app.B"],
+                                            cache=False)
+            assert second["stats"]["outcomes"]["modules_reused"] == 2
+        finally:
+            server.stop()
+
+
+class TestLiveIntrospection:
+    """mayac --daemon-status and server.top against a running daemon."""
+
+    def test_daemon_status_renders_live_stats(self, client, daemon, capsys):
+        from repro import mayac
+
+        for i in range(3):
+            assert client.compile(FOREACH_TEMPLATE % i,
+                                  f"live{i}.maya",
+                                  cache=False)["status"] == "ok"
+        assert mayac.main(["--daemon", daemon.address,
+                           "--daemon-status"]) == 0
+        out = capsys.readouterr().out
+        assert "mayad" in out
+        assert "queue" in out
+        # Nonzero latency stats: the window must reflect the three
+        # compiles above, and the queue capacity the config.
+        assert "window=3" in out
+        assert "/8" in out
+
+    def test_daemon_status_requires_daemon_flag(self, capsys):
+        from repro import mayac
+
+        assert mayac.main(["--daemon-status"]) == 2
+        assert "--daemon" in capsys.readouterr().err
+
+    def test_top_once_renders_same_view(self, client, daemon, capsys):
+        from repro.server import top
+
+        assert client.compile("class TopT { }", "top.maya",
+                              cache=False)["status"] == "ok"
+        assert top.main(["--address", daemon.address,
+                        "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out
+        assert "p95" in out

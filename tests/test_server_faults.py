@@ -9,6 +9,7 @@ import pytest
 
 from repro import faults
 from repro.lalr import tables as lalr_tables
+from repro.obs import log as obs_log
 from repro.server import DaemonConfig, MayaClient, MayaDaemon
 from repro.server import protocol
 from repro.server.client import DaemonError
@@ -478,3 +479,67 @@ class TestModuleCacheCorruption:
             assert client.ping()["status"] == "ok"
         finally:
             server.stop()
+
+
+class TestCrashReconstructionFromEventLog:
+    """The observability acceptance bar: a contained worker crash must
+    be reconstructible from the structured event log *alone* — the
+    request_id links admission, crash, degraded re-run, and response."""
+
+    def test_crash_trail_links_by_request_id(self):
+        faults.configure("worker.execute:crash:times=1")
+        obs_log.LOG.clear()
+        server = _daemon()
+        try:
+            client = MayaClient(server.address, retries=0)
+            response = client.compile(SOURCE, "v.maya", cache=False)
+            assert response["status"] == "ok"
+            assert response["degraded"] is True
+            request_id = response["request_id"]
+            assert obs_log.REQUEST_ID_RE.match(request_id)
+            assert obs_log.TRACE_ID_RE.match(response["trace_id"])
+
+            # Reconstruct from the log alone: one grep by request_id.
+            records = obs_log.LOG.records(request_id=request_id)
+            trail = [record["name"] for record in records]
+            for expected in ("server.request.received",
+                             "server.worker.crash",
+                             "server.request.degraded",
+                             "server.request.done"):
+                assert expected in trail, f"{expected} missing in {trail}"
+            # ...and in causal order: admitted, crashed, re-run, done.
+            assert (trail.index("server.request.received")
+                    < trail.index("server.worker.crash")
+                    < trail.index("server.request.degraded")
+                    < trail.index("server.request.done"))
+            # Every hop carries the one trace the client minted.
+            assert {record["trace_id"] for record in records} \
+                == {response["trace_id"]}
+            # The crash hop is leveled as an error, the degradation as
+            # a warning — a leveled reader sees the incident shape.
+            levels = {record["name"]: record["level"] for record in records}
+            assert levels["server.worker.crash"] == "error"
+            assert levels["server.request.degraded"] == "warn"
+        finally:
+            server.stop()
+
+    def test_double_crash_trail_ends_in_failed_response(self):
+        faults.configure("worker.execute:crash")
+        obs_log.LOG.clear()
+        server = _daemon()
+        try:
+            client = MayaClient(server.address, retries=0)
+            response = client.compile(SOURCE, "v.maya", cache=False)
+            assert response["status"] == "worker-crashed"
+            records = obs_log.LOG.records(
+                request_id=response["request_id"])
+            trail = [record["name"] for record in records]
+            # Both crashes land in the same request's trail, and the
+            # terminal response event reports the failure status.
+            assert trail.count("server.worker.crash") >= 1
+            done = [record for record in records
+                    if record["name"] == "server.request.done"]
+            assert done and done[-1]["status"] == "worker-crashed"
+        finally:
+            server.stop()
+            faults.reset()
