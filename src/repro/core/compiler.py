@@ -99,13 +99,19 @@ class MayaCompiler:
         return self.compile_unit(source, filename, unit_env)
 
     def compile_unit(self, source: str, filename: str,
-                     unit_env: CompileEnv) -> CompiledProgram:
+                     unit_env: CompileEnv,
+                     unit_sink: Optional[list] = None) -> CompiledProgram:
         """Compile one translation unit in a caller-built environment.
 
         The module builder uses this to give each module its own child
         env (own grammar copy carrying that module's import-replayed
         syntax extensions, own import list) while every unit still
-        accumulates into the shared program/registry."""
+        accumulates into the shared program/registry.
+
+        ``unit_sink``, when given, receives the parsed unit.  Callers
+        used to read ``program.units[-1]``, which identifies the wrong
+        unit once the module builder compiles units concurrently into
+        the shared program; the sink is caller-local and race-free."""
         if sys.getrecursionlimit() < _RECURSION_LIMIT:
             sys.setrecursionlimit(_RECURSION_LIMIT)
         engine = unit_env.diag
@@ -121,6 +127,8 @@ class MayaCompiler:
                         trace.span("phase", "parse+expand"):
                     unit = parse_compilation_unit(ctx, tokens)
                 self.program.units.append(unit)
+                if unit_sink is not None:
+                    unit_sink.append(unit)
 
                 type_decls = [
                     decl for decl in unit.types
@@ -158,6 +166,52 @@ class MayaCompiler:
         if len(errors) == 1 and errors[0].cause is not None:
             raise errors[0].cause
         raise CompileFailed(engine.diagnostics[mark:], engine)
+
+    def compile_checked_unit(self, unit: n.CompilationUnit, filename: str,
+                             unit_env: CompileEnv,
+                             source: Optional[str] = None) -> List:
+        """Admit an already-parsed unit: shape and check, no parsing.
+
+        The module builder's deep warm path restores a previously
+        checked AST from the cache and re-runs only phases 2 and 3 —
+        lexing, parsing, and Mayan expansion are skipped outright
+        (expansion already happened; the restored tree is the expanded
+        tree).  ``source`` registers the unit's expanded text for
+        diagnostic rendering.  The unit joins ``program.units`` only
+        on success, so a caller can fall back to compiling the
+        expanded source without leaving a half-admitted unit behind.
+
+        Returns the unit's :class:`CompiledClass` list.
+        """
+        if sys.getrecursionlimit() < _RECURSION_LIMIT:
+            sys.setrecursionlimit(_RECURSION_LIMIT)
+        engine = unit_env.diag
+        mark = engine.mark()
+        if source is not None:
+            engine.add_source(filename, source)
+        with trace.span("compile", filename, filename=filename,
+                        restored=True):
+            # Mirror what parsing would have recorded on the env (see
+            # the package/import handling in the unit driver).
+            if unit.package is not None:
+                unit_env.package = ".".join(unit.package.parts)
+            for decl in unit.imports:
+                unit_env.imports.append((tuple(decl.parts), decl.on_demand))
+            type_decls = [
+                decl for decl in unit.types
+                if isinstance(decl, (n.ClassDecl, n.InterfaceDecl))
+            ]
+            with perf.phase("shape"), trace.span("phase", "shape"):
+                compiled = self._shape(type_decls, unit_env)
+            for hook in unit_env.unit_hooks:
+                hook(self.program, unit, unit_env)
+            self._raise_pending(engine, mark)
+            with perf.phase("bodies+check"), \
+                    trace.span("phase", "bodies+check"):
+                self._compile_bodies(compiled, unit_env)
+        self._raise_pending(engine, mark)
+        self.program.units.append(unit)
+        return compiled
 
     def compile_expression(self, source: str):
         """Parse (and expand) a single expression — REPL-style helper."""

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional
 SITE_CACHE_LOAD = "cache.disk.load"
 SITE_CODEGEN_CACHE_LOAD = "cache.codegen.load"
 SITE_MODULE_CACHE_LOAD = "cache.module.load"
+SITE_MODULE_IFACE = "cache.module.iface"
 SITE_WORKER_EXECUTE = "worker.execute"
 SITE_SOCKET_READ = "socket.read"
 SITE_SOCKET_WRITE = "socket.write"

@@ -44,6 +44,11 @@ Options:
                       MAYA_MODULE_CACHE environment variable)
     --module-report   print which modules were recompiled vs. reused
                       to stderr after a module-mode build
+    --jobs N          build up to N modules concurrently where the
+                      import DAG allows (module mode; ``auto`` = one
+                      per CPU; also honours MAYA_JOBS).  Output is
+                      byte-identical to --jobs 1; forwarded to the
+                      daemon under --daemon
     --no-macros       do not register the maya.util library
     --multijava       register the MultiJava extension
     --max-errors N    stop collecting after N errors (default 20)
@@ -157,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--module-report", action="store_true",
                         help="print recompiled-vs-reused modules to "
                              "stderr after a module-mode build")
+    parser.add_argument("--jobs", metavar="N",
+                        default=os.environ.get("MAYA_JOBS"),
+                        help="build up to N modules concurrently where "
+                             "the import DAG allows ('auto' = one per "
+                             "CPU; default 1; also honours MAYA_JOBS)")
     parser.add_argument("--no-macros", action="store_true",
                         help="skip the maya.util macro library")
     parser.add_argument("--multijava", action="store_true",
@@ -244,14 +254,9 @@ def _module_mode(args) -> bool:
 
 
 def _print_module_report(order, recompiled) -> None:
-    recompiled = set(recompiled)
-    reused = [name for name in order if name not in recompiled]
-    print(f"mayac: modules: {len(order)} total, "
-          f"{len(recompiled)} recompiled, {len(reused)} reused",
-          file=sys.stderr)
-    for name in order:
-        word = "recompiled" if name in recompiled else "reused"
-        print(f"  {word:10} {name}", file=sys.stderr)
+    from repro.modules.build import format_module_report
+
+    print(format_module_report(order, recompiled), file=sys.stderr)
 
 
 def _daemon_modules(args, client) -> int:
@@ -277,11 +282,19 @@ def _daemon_modules(args, client) -> int:
         return 1
     payload = {name: info.source for name, info in graph.modules.items()}
     try:
+        from repro.modules import resolve_jobs
+
+        resolve_jobs(args.jobs)  # validate before shipping
+    except ValueError as error:
+        print(f"mayac: {error}", file=sys.stderr)
+        return 2
+    try:
         response = client.compile_modules(
             payload, roots, expand=args.expand,
             provenance=args.provenance, use=args.use,
             multijava=args.multijava, no_macros=args.no_macros,
-            fuel=args.fuel, max_errors=args.max_errors)
+            fuel=args.fuel, max_errors=args.max_errors,
+            jobs=args.jobs)
     except DaemonError as error:
         print(f"mayac: {error}", file=sys.stderr)
         return 3
@@ -458,7 +471,8 @@ def _local_main(args) -> int:
 
     program = None
     if _module_mode(args):
-        from repro.modules import FileSystemSources, ModuleBuilder
+        from repro.modules import (FileSystemSources, ModuleBuilder,
+                                   resolve_jobs)
 
         sources = FileSystemSources(args.module_path or [])
         options = {
@@ -467,8 +481,18 @@ def _local_main(args) -> int:
             "multijava": args.multijava,
             "provenance": args.provenance,
         }
+        try:
+            jobs = resolve_jobs(args.jobs)
+        except ValueError as error:
+            print(f"mayac: {error}", file=sys.stderr)
+            return finish(2)
+        # Fork workers give real CPU parallelism under the GIL; the
+        # in-process CLI is single-threaded here, so forking is safe.
+        # MAYA_JOBS_MODE=thread opts into the shared-memory scheduler.
+        mode = os.environ.get("MAYA_JOBS_MODE", "fork")
         builder = ModuleBuilder(sources, cache_dir=args.module_cache,
-                                options=options, env=compiler.env)
+                                options=options, env=compiler.env,
+                                jobs=jobs, mode=mode)
         need_bodies = bool(args.run) or args.dump_codegen is not None
         try:
             roots = [sources.module_name_for(path) for path in args.files]

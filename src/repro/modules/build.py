@@ -1,54 +1,83 @@
 """The incremental module builder.
 
-``ModuleBuilder.build(roots)`` walks the dependency graph in
-topological order and, per module, either **recompiles** (cache miss:
-the module or something upstream changed) or **reuses** (cache hit:
-restore the cached class skeletons into the shared registry and take
-the cached expanded artifact verbatim).
+``ModuleBuilder.build(roots)`` walks the dependency graph and, per
+module, either **recompiles** (cache miss: the module or something
+upstream changed) or **reuses** (cache hit: restore the cached class
+skeletons into the shared registry and take the cached expanded
+artifact verbatim).  With ``jobs > 1`` the walk becomes a DAG
+schedule (:mod:`repro.modules.schedule`): modules whose dependencies
+have all completed compile concurrently, on threads or — for mayac,
+where the GIL would otherwise serialize the CPU work — on a pool of
+forked worker processes (:mod:`repro.modules.procpool`).
 
-Three invariants make incremental output indistinguishable from a
-clean build — the property the test layer hammers:
+Three invariants make incremental and parallel output
+indistinguishable from a clean serial build — the property the test
+layer hammers:
 
 * **Keys are transitive.**  A module's cache key covers its own source,
   the build options, and its direct deps' keys (which recursively cover
   theirs), so an edit invalidates exactly the edited module and its
   transitive importers — never siblings, never upstream.
 * **Per-module expansion is deterministic.**  Each recompile starts
-  from ``reset_fresh_names()`` and a fresh grammar copy built by
-  replaying the same export list in the same order, so the same module
-  source always expands to the same bytes.
-* **Topological artifact order is a pure function of the graph**, so
-  the combined ``--expand`` output concatenates identically whether a
-  module was rebuilt or replayed from disk.
+  from ``reset_fresh_names()`` (a thread-local counter) and a fresh
+  grammar copy built by replaying the same export list in the same
+  order, so the same module source always expands to the same bytes —
+  on any thread, in any process.
+* **Aggregation is serial.**  Artifact order is a pure function of the
+  graph, and everything that accumulates module outputs — the
+  ``--expand`` concatenation, the report, the program's unit/class
+  tables — is assembled in topological order after the schedule
+  drains, so the combined output never depends on completion order.
 
 Grammar deltas cross module edges by *export replay*: a module exports
 the metaprogram names it ``use``s at top level (plus its deps' exports,
 transitively), and a recompiling importer replays those names onto its
 own grammar copy before parsing — the versioned-grammar machinery then
-fingerprints each module's effective grammar for the LALR table cache.
-A replay that breaks the grammar (two imports exporting conflicting
-Mayans) is reported *at the import site*, like every module-graph
-failure mode.
+fingerprints each module's effective grammar for the LALR table cache
+(that fingerprint token is persisted in the cache entry).  A replay
+that breaks the grammar (two imports exporting conflicting Mayans) is
+reported *at the import site*, like every module-graph failure mode.
+
+**Warm hits are deep.**  A format-2 cache entry carries a pickled
+stripped copy of the module's checked AST next to the expanded text
+(:mod:`repro.modules.snapshot`); materializing a hit for ``--run``
+restores that tree and re-runs only shaping + checking, skipping
+lexing and parsing outright.  Every deep-path surprise — no blob,
+stale format, unpickle failure, a check error against restored deps —
+falls back to compiling the expanded text, which PR 8 proved
+byte-equivalent.
+
+**Failure semantics under parallelism.**  Tasks run against scratch
+diagnostic engines; the first failure halts dispatch, and the builder
+replays the topo-earliest failed module serially on the real engine —
+the error a ``--jobs 1`` build would render, minus any sibling noise.
+The one observable difference from serial: modules *independent* of
+the failed one may already have compiled (and cached) before the halt,
+like any ``make -j``.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence
 
+from repro import perf
 from repro.ast import nodes as n
 from repro.ast import to_source
 from repro.core.compiler import CompiledClass, MayaCompiler
 from repro.core.env import CompileEnv, MayaError
-from repro.diag import DiagnosticError
+from repro.diag import DiagnosticEngine, DiagnosticError
 from repro.hygiene.fresh import reset_fresh_names
 from repro.lalr import ConflictError
 from repro.lexer import Location
 from repro.obs import log as obs_log
 from repro.obs.metrics import REGISTRY
-from repro.modules.cache import (ModuleCache, ModuleEntry, module_key,
-                                 options_signature)
+from repro.modules.cache import (ModuleCache, ModuleEntry, grammar_token,
+                                 module_key, options_signature)
 from repro.modules.graph import ModuleGraph, ModuleInfo, ModuleSources
 from repro.modules.iface import export_interface, restore_interface
+from repro.modules.schedule import DagScheduler, resolve_jobs
+from repro.modules.snapshot import SnapshotError, load_unit, snapshot_unit
 
 _COMPILED_TOTAL = REGISTRY.counter(
     "maya_modules_compiled_total",
@@ -56,21 +85,55 @@ _COMPILED_TOTAL = REGISTRY.counter(
 _REUSED_TOTAL = REGISTRY.counter(
     "maya_modules_reused_total",
     "Modules reused from the incremental cache without recompiling.")
+_DEEP_RESTORED_TOTAL = REGISTRY.counter(
+    "maya_modules_deep_restored_total",
+    "Warm module materializations served from the deep (checked-AST) "
+    "artifact — no lexing, no parsing.")
+_DEEP_FALLBACK_TOTAL = REGISTRY.counter(
+    "maya_modules_deep_fallback_total",
+    "Warm materializations that fell back to compiling the expanded "
+    "source (no deep artifact, or one that failed to restore).")
+
+
+def format_module_report(order: Sequence[str],
+                         recompiled: Sequence[str]) -> str:
+    """The ``--module-report`` text — one formatting function shared
+    by the CLI, the daemon client, and :meth:`BuildResult.report`, so
+    the jobs=1-vs-jobs=N property test pins the exact bytes users see.
+    """
+    recompiled_set = set(recompiled)
+    lines = [f"mayac: modules: {len(order)} total, "
+             f"{len(recompiled_set)} recompiled, "
+             f"{len(order) - len(recompiled_set)} reused"]
+    for name in order:
+        word = "recompiled" if name in recompiled_set else "reused"
+        lines.append(f"  {word:10} {name}")
+    return "\n".join(lines)
 
 
 class ModuleBuild:
     """One module's outcome within a build."""
 
-    __slots__ = ("name", "key", "expanded", "reused", "exports", "classes")
+    __slots__ = ("name", "key", "expanded", "reused", "exports", "classes",
+                 "unit", "entry")
 
     def __init__(self, name: str, key: str, expanded: str, reused: bool,
-                 exports: List[str], classes: List[CompiledClass]):
+                 exports: List[str], classes: List[CompiledClass],
+                 unit=None, entry: Optional[ModuleEntry] = None):
         self.name = name
         self.key = key
         self.expanded = expanded
         self.reused = reused
         self.exports = exports
         self.classes = classes
+        #: The module's compilation unit when one was materialized
+        #: this build (recompile, or a warm hit with ``need_bodies``);
+        #: the parallel integrator re-orders the program's unit list
+        #: from these.
+        self.unit = unit
+        #: The cache entry this build produced or replayed (builder
+        #: internal: the fork pool ships these between processes).
+        self.entry = entry
 
 
 class BuildResult:
@@ -88,13 +151,19 @@ class BuildResult:
 
     def expanded(self) -> str:
         """The program's combined expanded source, modules in
-        topological order — byte-identical across clean and
-        incremental builds of the same sources."""
+        topological order — byte-identical across clean, incremental,
+        and parallel builds of the same sources."""
         chunks = []
         for name in self.order:
             build = self.builds[name]
             chunks.append(f"// module {name}\n{build.expanded}")
         return "\n\n".join(chunks)
+
+    def report(self) -> str:
+        """The ``--module-report`` text — a deterministic function of
+        the graph and the recompiled set, so ``--jobs N`` output is
+        byte-identical to serial."""
+        return format_module_report(self.order, self.recompiled)
 
 
 class ModuleBuilder:
@@ -103,7 +172,11 @@ class ModuleBuilder:
     def __init__(self, sources: ModuleSources,
                  cache_dir: Optional[str] = None,
                  options: Optional[dict] = None,
-                 env: Optional[CompileEnv] = None):
+                 env: Optional[CompileEnv] = None,
+                 jobs: Optional[int] = None,
+                 mode: str = "thread",
+                 task_spawn=None,
+                 deep_restore: bool = True):
         self.sources = sources
         self.cache = ModuleCache(cache_dir)
         self.options = dict(options or {})
@@ -111,6 +184,22 @@ class ModuleBuilder:
         self.compiler = MayaCompiler(self.env)
         self.provenance = bool(self.options.get("provenance"))
         self._options_sig = options_signature(self.options)
+        #: Worker count for the DAG schedule (1 = the serial walk).
+        self.jobs = resolve_jobs(jobs) if jobs is not None else 1
+        #: ``thread`` or ``fork`` — how parallel tasks execute.  Fork
+        #: needs a single-threaded process at build start (mayac);
+        #: the daemon always uses threads on its own worker pool.
+        self.mode = mode
+        #: Optional external-pool enqueue for helper drains (the
+        #: daemon passes its request queue's submit here).
+        self.task_spawn = task_spawn
+        #: False forces warm materializations down the expanded-text
+        #: path even when a deep artifact exists — the control arm of
+        #: the warm-restore benchmark, and an escape hatch.
+        self.deep_restore = deep_restore
+        # Serializes materialization fallbacks that must not interleave
+        # with sibling tasks' fresh-name streams.
+        self._fresh_lock = threading.Lock()
 
     # -- the build loop ----------------------------------------------------
 
@@ -118,78 +207,275 @@ class ModuleBuilder:
               need_bodies: bool = False) -> BuildResult:
         """Build ``roots`` and everything they import.
 
-        ``need_bodies`` materializes cache-hit modules by compiling
-        their cached expanded (plain-Java) source, so the program is
-        runnable; compile-only/``--expand`` builds skip that and load
-        just the class skeletons — the cheap path the incremental
+        ``need_bodies`` materializes cache-hit modules (deep-restoring
+        their checked ASTs when the entry carries one) so the program
+        is runnable; compile-only/``--expand`` builds skip that and
+        load just the class skeletons — the cheap path the incremental
         speedup comes from.
         """
         graph = ModuleGraph.discover(roots, self.sources,
                                      registry=self.env.registry,
                                      diag=self.env.diag)
-        builds: Dict[str, ModuleBuild] = {}
-        for name in graph.order():
+        order = graph.order()
+        for name in order:
             info = graph.modules[name]
-            dep_keys = [(dep, builds[dep].key) for dep in info.deps]
+            dep_keys = [(dep, graph.modules[dep].key) for dep in info.deps]
             info.key = module_key(name, info.source, self._options_sig,
                                   dep_keys)
+        jobs = min(self.jobs, len(order))
+        if jobs > 1:
+            builds = self._build_parallel(graph, order, need_bodies, jobs)
+        else:
+            builds = self._build_serial(graph, order, need_bodies)
+        result = BuildResult(self.env, graph, builds, self.compiler.program)
+        obs_log.emit("modules.build.done",
+                     modules=len(result.order),
+                     recompiled=len(result.recompiled),
+                     reused=len(result.reused),
+                     jobs=jobs)
+        return result
+
+    def _build_serial(self, graph: ModuleGraph, order: Sequence[str],
+                      need_bodies: bool) -> Dict[str, ModuleBuild]:
+        builds: Dict[str, ModuleBuild] = {}
+        for name in order:
+            info = graph.modules[name]
             entry = self.cache.load(name, info.key) if self.cache else None
             if entry is not None:
                 builds[name] = self._reuse(info, entry, builds, need_bodies)
             else:
                 builds[name] = self._recompile(info, builds)
-        result = BuildResult(self.env, graph, builds, self.compiler.program)
-        obs_log.emit("modules.build.done",
-                     modules=len(result.order),
-                     recompiled=len(result.recompiled),
-                     reused=len(result.reused))
-        return result
+        return builds
+
+    # -- the parallel build ------------------------------------------------
+
+    def _build_parallel(self, graph: ModuleGraph, order: Sequence[str],
+                        need_bodies: bool,
+                        jobs: int) -> Dict[str, ModuleBuild]:
+        """Schedule one task per module over the import DAG.
+
+        Thread mode: tasks run the ordinary reuse/recompile paths
+        against the shared program (scratch diagnostics), exactly as
+        the serial walk would, just concurrently where the DAG allows.
+        Fork mode: cache misses compile in worker processes and come
+        back as cache-entry payloads; the parent integrates every
+        module through the warm-hit path afterwards.  Either way the
+        serial integration pass below re-asserts topological order for
+        everything order-sensitive and replays the topo-earliest
+        failure (if any) on the real diagnostic engine.
+        """
+        entries: Dict[str, Optional[ModuleEntry]] = {}
+        with perf.phase("module-cache-probe"):
+            for name in order:
+                info = graph.modules[name]
+                entries[name] = self.cache.load(name, info.key) \
+                    if self.cache else None
+
+        builds: Dict[str, ModuleBuild] = {}
+        use_fork = self.mode == "fork" and self.task_spawn is None
+        if use_fork:
+            from repro.modules import procpool
+
+            use_fork = procpool.fork_available()
+        fork_built: set = set()
+        with perf.phase("module-schedule"):
+            if use_fork:
+                fork_built = self._schedule_forked(graph, order, entries,
+                                                   jobs)
+            else:
+                self._schedule_threaded(graph, order, entries, builds,
+                                        need_bodies, jobs)
+
+        # Serial integration: topo order, real diagnostics.  Thread
+        # tasks already produced their ModuleBuild; anything missing
+        # (fork results, failed or skipped tasks) goes through the
+        # ordinary serial paths here — a failed task's replay raises
+        # the same error a --jobs 1 build would.  A fork-compiled
+        # module integrates like a warm hit (its entry is in hand) but
+        # reports and counts as a recompile: work happened this build.
+        for name in order:
+            if name in builds:
+                continue
+            info = graph.modules[name]
+            entry = entries[name]
+            if entry is not None:
+                builds[name] = self._reuse(info, entry, builds, need_bodies,
+                                           recompiled=name in fork_built)
+            else:
+                builds[name] = self._recompile(info, builds)
+        self._canonicalize(order, builds)
+        return builds
+
+    def _schedule_threaded(self, graph: ModuleGraph, order: Sequence[str],
+                           entries: Dict[str, Optional[ModuleEntry]],
+                           builds: Dict[str, ModuleBuild],
+                           need_bodies: bool, jobs: int) -> None:
+        def run_one(name: str):
+            info = graph.modules[name]
+            entry = entries[name]
+            if entry is not None:
+                build = self._reuse(info, entry, builds, need_bodies,
+                                    scratch=True)
+            else:
+                build = self._recompile(info, builds, scratch=True)
+            builds[name] = build
+            return build
+
+        scheduler = DagScheduler(
+            order, {name: graph.modules[name].deps for name in order},
+            run_one)
+        scheduler.run_threaded(jobs, spawn=self.task_spawn)
+        # Failed tasks may have left a half-built ModuleBuild out of
+        # ``builds`` (they raised first) — the integration loop replays
+        # them serially; nothing to do here.
+
+    def _schedule_forked(self, graph: ModuleGraph, order: Sequence[str],
+                         entries: Dict[str, Optional[ModuleEntry]],
+                         jobs: int) -> set:
+        """Compile cache misses in forked workers; fill ``entries``.
+
+        Returns the names compiled in workers (the integration pass
+        accounts them as recompiles, not cache hits)."""
+        from repro.modules import procpool
+
+        child_builds: Dict[str, ModuleBuild] = {}
+
+        def run_job(job: dict) -> dict:
+            # Executes in the forked child: restore shipped dep
+            # surfaces this child hasn't seen, then compile exactly as
+            # the serial walk would.
+            name = job["name"]
+            for dep_name, dep_exports, dep_iface in job["deps"]:
+                if dep_name not in child_builds:
+                    restore_interface(dep_iface, self.env.registry)
+                    child_builds[dep_name] = ModuleBuild(
+                        dep_name, "", "", True, list(dep_exports), [])
+            build = self._recompile(graph.modules[name], child_builds)
+            child_builds[name] = build
+            return build.entry.payload()
+
+        pool = procpool.ForkPool(jobs, run_job)
+        lock = threading.Lock()
+        fork_built: set = set()
+
+        def run_one(name: str):
+            if entries[name] is not None:
+                return entries[name]
+            deps = [(dep, entries[dep].exports, entries[dep].iface)
+                    for dep in graph.modules[name].deps]
+            payload = pool.call({"name": name, "deps": deps})
+            entry = ModuleEntry.from_payload(payload)
+            self.cache.store(entry)
+            with lock:
+                entries[name] = entry
+                fork_built.add(name)
+            return entry
+
+        try:
+            scheduler = DagScheduler(
+                order, {name: graph.modules[name].deps for name in order},
+                run_one)
+            scheduler.run_threaded(jobs)
+        finally:
+            pool.close()
+        return fork_built
+
+    def _canonicalize(self, order: Sequence[str],
+                      builds: Dict[str, ModuleBuild]) -> None:
+        """Re-assert topological order on the shared program's unit
+        and class tables after a parallel build, so ``program.source``
+        and class iteration never depend on completion order."""
+        program = self.compiler.program
+        built_units = [b.unit for b in builds.values() if b.unit is not None]
+        if built_units:
+            foreign = [u for u in program.units if u not in built_units]
+            program.units[:] = foreign + [
+                builds[name].unit for name in order
+                if builds[name].unit is not None]
+        module_classes = {}
+        for name in order:
+            for compiled in builds[name].classes:
+                module_classes[compiled.type.name] = compiled
+        if module_classes:
+            foreign = {qualified: compiled
+                       for qualified, compiled in program.classes.items()
+                       if qualified not in module_classes}
+            program.classes.clear()
+            program.classes.update(foreign)
+            program.classes.update(module_classes)
 
     # -- cache hit ---------------------------------------------------------
 
     def _reuse(self, info: ModuleInfo, entry: ModuleEntry,
                builds: Dict[str, ModuleBuild],
-               need_bodies: bool) -> ModuleBuild:
-        _REUSED_TOTAL.inc()
-        obs_log.emit("modules.module.reused", level="debug",
-                     module=info.name, materialized=need_bodies)
+               need_bodies: bool, scratch: bool = False,
+               recompiled: bool = False) -> ModuleBuild:
+        unit = None
+        classes: List[CompiledClass] = []
         if need_bodies:
-            # The cached artifact is plain Java (every Mayan already
-            # expanded), so compiling it skips the expensive phase but
-            # yields real method bodies.  Fresh names restart so the
-            # re-materialized unit matches the cached bytes.
-            module_env = self._module_env(info)
-            reset_fresh_names()
-            before = set(self.compiler.program.classes)
-            self.compiler.compile_unit(entry.expanded,
-                                       f"{info.filename}#expanded",
-                                       module_env)
-            classes = [c for qualified, c
-                       in self.compiler.program.classes.items()
-                       if qualified not in before]
+            module_env = self._module_env(info, scratch=scratch)
+            unit, classes = self._materialize(info, entry, module_env)
         else:
             restore_interface(entry.iface, self.env.registry)
-            classes = []
-        return ModuleBuild(info.name, info.key, entry.expanded, True,
-                           list(entry.exports), classes)
+        if recompiled:
+            _COMPILED_TOTAL.inc()
+        else:
+            _REUSED_TOTAL.inc()
+        obs_log.emit("modules.module.reused", level="debug",
+                     module=info.name, materialized=need_bodies)
+        return ModuleBuild(info.name, info.key, entry.expanded,
+                           not recompiled, list(entry.exports), classes,
+                           unit=unit, entry=entry)
+
+    def _materialize(self, info: ModuleInfo, entry: ModuleEntry,
+                     module_env: CompileEnv):
+        """Forced-body materialization of a warm hit.
+
+        Deep path first: restore the pickled checked AST and re-run
+        shape + check only.  Any surprise — a declined snapshot, a
+        stale blob, a check error against the restored surroundings —
+        falls back to compiling the cached expanded source, the
+        byte-equivalent PR 8 path.
+        """
+        filename = f"{info.filename}#expanded"
+        if entry.deep is not None and self.deep_restore:
+            try:
+                unit = load_unit(entry.deep)
+                compiled = self.compiler.compile_checked_unit(
+                    unit, filename, module_env, source=entry.expanded)
+                _DEEP_RESTORED_TOTAL.inc()
+                return unit, compiled
+            except (SnapshotError, DiagnosticError):
+                pass  # fall through to the text path
+        _DEEP_FALLBACK_TOTAL.inc()
+        # The cached artifact is plain Java (every Mayan already
+        # expanded), so compiling it skips the expensive phase but
+        # yields real method bodies.  Fresh names restart so the
+        # re-materialized unit matches the cached bytes.
+        sink: List = []
+        with self._fresh_lock:
+            reset_fresh_names()
+            self.compiler.compile_unit(entry.expanded, filename,
+                                       module_env, unit_sink=sink)
+        unit = sink[-1] if sink else None
+        return unit, self._classes_of(unit, module_env)
 
     # -- cache miss --------------------------------------------------------
 
     def _recompile(self, info: ModuleInfo,
-                   builds: Dict[str, ModuleBuild]) -> ModuleBuild:
-        _COMPILED_TOTAL.inc()
+                   builds: Dict[str, ModuleBuild],
+                   scratch: bool = False) -> ModuleBuild:
         obs_log.emit("modules.module.recompiled", level="debug",
                      module=info.name, deps=len(info.deps))
-        module_env = self._module_env(info)
+        module_env = self._module_env(info, scratch=scratch)
         self._replay_exports(info, builds, module_env)
         reset_fresh_names()
-        before = set(self.compiler.program.classes)
-        program = self.compiler.compile_unit(info.source, info.filename,
-                                             module_env)
-        unit = program.units[-1]
+        sink: List = []
+        self.compiler.compile_unit(info.source, info.filename,
+                                   module_env, unit_sink=sink)
+        unit = sink[-1]
         expanded = to_source(unit, provenance=self.provenance)
-        classes = [c for qualified, c in program.classes.items()
-                   if qualified not in before]
+        classes = self._classes_of(unit, module_env)
 
         exports: List[str] = []
         for dep in info.deps:
@@ -202,29 +488,65 @@ class ModuleBuilder:
                 if use_name not in exports:
                     exports.append(use_name)
 
-        build = ModuleBuild(info.name, info.key, expanded, False,
-                            exports, classes)
-        self.cache.store(ModuleEntry(
+        entry = ModuleEntry(
             info.name, info.key, expanded,
             export_interface([c.type for c in classes]),
-            exports, list(info.deps)))
-        return build
+            exports, list(info.deps),
+            deep=snapshot_unit(unit),
+            grammar=grammar_token(module_env.grammar))
+        _COMPILED_TOTAL.inc()
+        self.cache.store(entry)
+        return ModuleBuild(info.name, info.key, expanded, False,
+                           exports, classes, unit=unit, entry=entry)
+
+    def _classes_of(self, unit, module_env: CompileEnv
+                    ) -> List[CompiledClass]:
+        """This unit's compiled classes, by declaration — never by
+        diffing the shared program table, which other tasks mutate."""
+        if unit is None:
+            return []
+        package = module_env.package
+        classes: List[CompiledClass] = []
+        for decl in unit.types:
+            if not isinstance(decl, (n.ClassDecl, n.InterfaceDecl)):
+                continue
+            qualified = decl.name.name if not package \
+                else f"{package}.{decl.name.name}"
+            compiled = self.compiler.program.classes.get(qualified)
+            if compiled is not None:
+                classes.append(compiled)
+        return classes
 
     # -- per-module environments -------------------------------------------
 
-    def _module_env(self, info: ModuleInfo) -> CompileEnv:
+    def _module_env(self, info: ModuleInfo,
+                    scratch: bool = False) -> CompileEnv:
         """A child env with its own grammar copy and import list.
 
         Grammar deltas a module's ``use``s (or replayed dep exports)
         apply must not leak into sibling modules; ``Grammar.copy``
         shares interned Production objects, so identity-keyed dispatch
         plans still hit across modules.
+
+        ``scratch`` swaps in a throwaway diagnostic engine (same
+        budgets and deadline as the real one): parallel tasks report
+        through it so a failing sibling can't contaminate the
+        authoritative serial replay's error stream.
         """
         module_env = self.env.child()
         module_env.grammar = self.env.grammar.copy(f"module:{info.name}")
         module_env.imports = []
         module_env.package = info.name.rsplit(".", 1)[0] \
             if "." in info.name else ""
+        if scratch:
+            real = self.env.diag
+            engine = DiagnosticEngine(
+                max_errors=real.max_errors,
+                max_expansion_depth=real.max_expansion_depth,
+                max_mayan_reentry=real.max_mayan_reentry)
+            engine.deadline = real.deadline
+            engine.sources.update(real.sources)
+            module_env.diag = engine
         return module_env
 
     def _replay_exports(self, info: ModuleInfo,

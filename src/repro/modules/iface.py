@@ -67,6 +67,29 @@ def export_interface(classes: Sequence[ClassType]) -> List[dict]:
     return out
 
 
+def validate_interface(iface: List[dict]) -> None:
+    """Structural gate for skeletons read back from disk.
+
+    ``restore_interface`` trusts its input's shape (it writes straight
+    into the shared registry), so the cache's load ladder runs this
+    first: a truncated or hand-mangled skeleton list raises
+    ``ValueError`` here — and gets quarantined — instead of surfacing
+    as a ``KeyError`` halfway through registry mutation.
+    """
+    if not isinstance(iface, list):
+        raise ValueError("interface payload is not a list")
+    for payload in iface:
+        if not isinstance(payload, dict):
+            raise ValueError("interface entry is not an object")
+        for field in ("name", "is_interface", "modifiers", "superclass",
+                      "interfaces", "fields", "methods", "constructors"):
+            if field not in payload:
+                raise ValueError(f"interface entry lacks {field!r}")
+        for member_list in ("fields", "methods", "constructors"):
+            if not isinstance(payload[member_list], list):
+                raise ValueError(f"interface {member_list!r} is not a list")
+
+
 def restore_interface(iface: List[dict], registry) -> List[ClassType]:
     """Re-declare cached skeletons into ``registry`` (two passes)."""
     restored: List[ClassType] = []

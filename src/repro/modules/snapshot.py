@@ -1,0 +1,145 @@
+"""Deep module artifacts: pickled snapshots of *checked* ASTs.
+
+PR 8's module cache persisted the expanded (plain-Java) source per
+module, so a warm ``need_bodies`` hit still re-lexed, re-parsed, and
+re-checked every line.  The snapshot layer removes that tail: after a
+module compiles, :func:`snapshot_unit` takes a **stripped copy** of its
+checked compilation unit — every node rebuilt through its own
+constructor from ``_fields`` + location, with all checker/parser
+annotations (scopes, resolutions, static types, member links) dropped —
+and pickles it.  A warm hit then restores via :func:`load_unit` and
+re-runs only the cheap shaping + checking walk over an already-parsed
+tree, skipping lexing, declaration parsing, and lazy body parsing
+entirely (the bulk of a module's compile time; see EXPERIMENTS E17).
+
+Two node families can't round-trip through a plain field copy and are
+rewritten to their *unparse-equivalent* plain forms — exactly what the
+expanded-source text would re-parse to, so deep restore and the PR 8
+text path are semantically interchangeable by construction:
+
+* ``Reference`` (a direct binding reference from hygiene machinery)
+  becomes a ``NameExpr`` of the binding's name — the unparser prints
+  ``binding.name``, so the text path produces the same node.
+* ``StrictTypeName`` (a template's resolved type) becomes a plain
+  ``TypeName`` of its qualified ``syntax_parts()`` — again what the
+  printed artifact re-parses to.
+
+Anything else surprising — an unforced ``LazyNode``, an unknown leaf
+object, a constructor that refuses the copied fields — makes
+:func:`snapshot_unit` **decline** (return None) rather than persist a
+blob it can't vouch for; the cache entry then simply lacks a deep
+artifact and warm hits fall back to the expanded-source compile.  The
+same never-trust-the-disk ladder guards the load side: a blob that
+fails its checksum or unpickle is reported by raising
+:class:`SnapshotError`, and the caller quarantines/regenerates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+import pickletools
+from typing import Optional
+
+from repro.ast import nodes as n
+from repro.lexer import Location
+
+#: Bump when the snapshot's structural conventions change; baked into
+#: the pickle header so stale blobs fail closed as a format mismatch.
+SNAPSHOT_FORMAT = 1
+
+_PRIMITIVE = (str, int, float, bool, type(None))
+
+#: Classes allowed to unpickle.  A module-cache blob is local build
+#: state, but keeping the set closed (AST nodes + locations + builtin
+#: containers) costs nothing and keeps a tampered entry from
+#: instantiating arbitrary classes.
+_ALLOWED_MODULES = ("repro.ast.nodes", "repro.lexer",
+                    "repro.lexer.source", "repro.lexer.tokens")
+
+
+class SnapshotError(Exception):
+    """A deep artifact that could not be restored (corrupt/stale)."""
+
+
+class _Unsnappable(Exception):
+    """Internal: this tree contains state a stripped copy can't carry."""
+
+
+def _strip(value):
+    """A stripped copy of ``value``: nodes rebuilt from ``_fields``."""
+    if isinstance(value, _PRIMITIVE):
+        return value
+    if isinstance(value, list):
+        return [_strip(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_strip(item) for item in value)
+    if isinstance(value, n.LazyNode):
+        # Checked trees splice forced lazies in place; one that survived
+        # means this unit isn't fully materialized — decline.
+        raise _Unsnappable("unforced lazy node in checked tree")
+    if isinstance(value, n.Reference):
+        return n.NameExpr((str(value.binding.name),),
+                          location=value.location)
+    if isinstance(value, n.StrictTypeName):
+        base, dims = value.type.syntax_parts()
+        return n.TypeName(tuple(base), dims + value.dims,
+                          location=value.location)
+    if isinstance(value, n.Node):
+        cls = type(value)
+        fields = [_strip(getattr(value, name)) for name in cls._fields]
+        try:
+            return cls(*fields, location=value.location)
+        except TypeError as error:
+            raise _Unsnappable(f"{cls.__name__}: {error}")
+    if isinstance(value, Location):
+        return value
+    raise _Unsnappable(f"unsupported leaf {type(value).__name__}")
+
+
+def snapshot_unit(unit: "n.CompilationUnit") -> Optional[bytes]:
+    """Pickle a stripped copy of a checked unit, or None to decline."""
+    try:
+        clone = _strip(unit)
+    except _Unsnappable:
+        return None
+    try:
+        body = pickle.dumps((SNAPSHOT_FORMAT, clone), protocol=4)
+    except Exception:
+        # A field slipped through carrying unpicklable state; the
+        # expanded-source artifact still covers this module.
+        return None
+    # Canonical byte form: identical trees must produce identical
+    # blobs (the jobs=1 vs jobs=N property test compares entry files).
+    return pickletools.optimize(body)
+
+
+def blob_digest(blob: bytes) -> str:
+    """Checksum persisted next to the blob; load verifies it first."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+class _NodeUnpickler(pickle.Unpickler):
+    def find_class(self, module, name):
+        if module.split(".")[0] == "builtins" \
+                or module in _ALLOWED_MODULES:
+            return super().find_class(module, name)
+        raise SnapshotError(f"snapshot references {module}.{name}")
+
+
+def load_unit(blob: bytes) -> "n.CompilationUnit":
+    """Unpickle a deep artifact; raise :class:`SnapshotError` if it is
+    corrupt, stale, or not shaped like a compilation unit."""
+    try:
+        fmt, unit = _NodeUnpickler(io.BytesIO(blob)).load()
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(f"undecodable snapshot: {error}")
+    if fmt != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"snapshot format {fmt!r}, "
+                            f"want {SNAPSHOT_FORMAT}")
+    if not isinstance(unit, n.CompilationUnit):
+        raise SnapshotError("snapshot payload is not a compilation unit")
+    return unit

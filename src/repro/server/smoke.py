@@ -23,9 +23,11 @@ Scenarios (``--scenario``):
   ``deadline-exceeded`` and the pool must backfill;
 * ``worker-crash``  — one worker crashes; the request must be
   re-run in degraded mode and *succeed*;
-* ``modules``       — multi-file compile requests hammer the shared
-  incremental module cache while one on-disk entry is served corrupt;
-  every request must succeed anyway (quarantine + recompile).
+* ``modules``       — multi-file compile requests fan each build
+  across the worker pool (``jobs``) and hammer the shared incremental
+  module cache while one on-disk entry *and* one interface payload
+  are served corrupt; every request must succeed anyway (quarantine
+  + recompile).
 """
 
 from __future__ import annotations
@@ -69,7 +71,8 @@ SCENARIOS = {
     "worker-hang": ("worker.execute:hang:secs=5:times=1",
                     {STATUS_DEADLINE}, 2.0),
     "worker-crash": ("worker.execute:crash:times=1", set(), 15.0),
-    "modules": ("cache.module.load:corrupt:times=1", set(), 5.0),
+    "modules": ("cache.module.load:corrupt:times=1,"
+                "cache.module.iface:corrupt:times=1", set(), 5.0),
 }
 
 #: The multi-file program the ``modules`` scenario compiles: a Mayan
@@ -131,6 +134,7 @@ def run_drill(requests: int, scenario: str, workers: int = 4,
                     pool.submit(client.compile_modules,
                                 MODULE_SOURCES, ["app.Main"],
                                 expand=True, cache=False,
+                                jobs=workers,
                                 deadline_ms=int(deadline_s * 1000))
                     for i in range(requests)
                 ]

@@ -13,14 +13,24 @@ apply a random single-module edit, and prove two properties:
   through the ``maya_modules_compiled_total`` /
   ``maya_modules_reused_total`` counters, so a builder that silently
   recompiled-and-discarded would still be caught.
+* **Parallelism-invariance** — every trial also runs at ``jobs=4``
+  (threaded DAG schedule) against its own cache, and the combined
+  artifact, the recompiled set, the ``--module-report`` text, and the
+  on-disk cache-entry bytes must all be identical to the serial
+  build's.  A smaller loop repeats this through the fork-worker pool
+  (the mayac ``--jobs`` substrate).
 """
 
+import hashlib
+import os
 import random
 
 from repro.modules import MemorySources, ModuleBuilder, ModuleGraph
+from repro.modules.procpool import fork_available
 from repro.obs.metrics import REGISTRY
 
 TRIALS = 50
+FORK_TRIALS = 6
 SEED = 0x4D617961  # "Maya"
 
 
@@ -66,6 +76,17 @@ def edit_module(rng, sources):
     return edited, name
 
 
+def _cache_digests(directory):
+    """Name -> sha256 of every entry file (quarantines excluded)."""
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name), "rb") as handle:
+            out[name] = hashlib.sha256(handle.read()).hexdigest()
+    return out
+
+
 def test_incremental_rebuild_equals_clean_build(tmp_path):
     rng = random.Random(SEED)
     for trial in range(TRIALS):
@@ -97,6 +118,61 @@ def test_incremental_rebuild_equals_clean_build(tmp_path):
         clean = ModuleBuilder(MemorySources(edited)).build(roots)
         assert incremental.expanded() == clean.expanded(), \
             f"trial {trial}: incremental artifact diverged for {target}"
+
+        # Parallelism-invariance: replay the whole trial at jobs=4 on
+        # the threaded schedule; every observable — artifact bytes,
+        # recompiled set, report text, cache-entry bytes — matches.
+        cache4 = tmp_path / f"trial{trial}-jobs4"
+        first4 = ModuleBuilder(MemorySources(sources),
+                               cache_dir=str(cache4), jobs=4).build(roots)
+        assert first4.expanded() == first.expanded(), \
+            f"trial {trial}: jobs=4 clean artifact diverged"
+        assert first4.report() == first.report()
+        incremental4 = ModuleBuilder(MemorySources(edited),
+                                     cache_dir=str(cache4),
+                                     jobs=4).build(roots)
+        assert incremental4.recompiled == incremental.recompiled, \
+            f"trial {trial}: jobs=4 recompiled a different set"
+        assert incremental4.expanded() == incremental.expanded()
+        assert incremental4.report() == incremental.report()
+        assert _cache_digests(str(cache4)) == _cache_digests(str(cache)), \
+            f"trial {trial}: jobs=4 wrote different cache bytes"
+
+
+def test_fork_builds_equal_serial_builds(tmp_path):
+    """The same invariance through the fork-worker pool (mayac's
+    ``--jobs`` substrate): artifacts, reports, and cache bytes match
+    the serial build's, clean and after an edit."""
+    if not fork_available():
+        import pytest
+
+        pytest.skip("no os.fork on this platform")
+    rng = random.Random(SEED + 3)
+    for trial in range(FORK_TRIALS):
+        sources, roots = random_project(rng)
+        edited, target = edit_module(rng, sources)
+        serial_cache = tmp_path / f"fork{trial}-serial"
+        fork_cache = tmp_path / f"fork{trial}-fork"
+
+        serial = ModuleBuilder(MemorySources(sources),
+                               cache_dir=str(serial_cache)).build(roots)
+        forked = ModuleBuilder(MemorySources(sources),
+                               cache_dir=str(fork_cache),
+                               jobs=4, mode="fork").build(roots)
+        assert forked.expanded() == serial.expanded()
+        assert forked.report() == serial.report()
+
+        serial_edit = ModuleBuilder(MemorySources(edited),
+                                    cache_dir=str(serial_cache)
+                                    ).build(roots)
+        forked_edit = ModuleBuilder(MemorySources(edited),
+                                    cache_dir=str(fork_cache),
+                                    jobs=4, mode="fork").build(roots)
+        assert forked_edit.recompiled == serial_edit.recompiled
+        assert forked_edit.expanded() == serial_edit.expanded()
+        assert forked_edit.report() == serial_edit.report()
+        assert _cache_digests(str(fork_cache)) \
+            == _cache_digests(str(serial_cache))
 
 
 def test_discovery_order_is_deterministic():

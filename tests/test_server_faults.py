@@ -480,6 +480,99 @@ class TestModuleCacheCorruption:
         finally:
             server.stop()
 
+    def test_corrupt_iface_payload_is_quarantined_and_regenerated(
+            self, tmp_path):
+        """``cache.module.iface``: the entry JSON parses but the class
+        skeletons / deep blob are garbage.  The integrity gate must
+        quarantine, count, and regenerate — never crash a request."""
+        from repro.modules import cache as module_cache
+
+        iface_corrupt = module_cache._IFACE_CORRUPT_TOTAL
+        before = iface_corrupt.value
+        server = _daemon(module_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            first = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                           cache=False, run="Main")
+            assert first["status"] == "ok"
+            assert first["run"]["output"] == ["42"]
+            faults.configure("cache.module.iface:corrupt:times=1")
+            second = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                            cache=False, run="Main")
+            assert second["status"] == "ok"
+            assert second["run"]["output"] == ["42"]
+            # Exactly the module with the poisoned skeletons
+            # recompiled; its sibling replayed (deep-restored) fine.
+            assert len(second["modules"]["recompiled"]) == 1
+            # The regenerated entry is healthy: a third request reuses
+            # everything.
+            third = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                           cache=False, run="Main")
+            assert third["status"] == "ok"
+            assert third["modules"]["reused"] == ["lib.Util", "app.Main"]
+        finally:
+            server.stop()
+        assert iface_corrupt.value == before + 1
+        assert sum(1 for path in tmp_path.iterdir()
+                   if path.suffix == ".quarantine") == 1
+
+    def test_truncated_deep_blob_on_disk_falls_back(self, tmp_path):
+        """Organic rot in the deep payload (checksum intact JSON, bad
+        blob bytes): the checksum gate catches it, the warm hit
+        quarantines and the module recompiles — output unchanged."""
+        import base64
+        import json as json_mod
+
+        from repro.modules import cache as module_cache
+
+        iface_corrupt = module_cache._IFACE_CORRUPT_TOTAL
+        before = iface_corrupt.value
+        server = _daemon(module_cache_dir=str(tmp_path))
+        try:
+            client = MayaClient(server.address, retries=0)
+            first = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                           cache=False, run="Main")
+            assert first["status"] == "ok"
+            victim = next(path for path in tmp_path.iterdir()
+                          if path.name.startswith("module-"))
+            payload = json_mod.loads(victim.read_text(encoding="utf-8"))
+            assert payload.get("deep"), "entry should carry a deep blob"
+            blob = base64.b64decode(payload["deep"])
+            payload["deep"] = base64.b64encode(
+                blob[: len(blob) // 2]).decode("ascii")
+            victim.write_text(json_mod.dumps(payload, sort_keys=True),
+                              encoding="utf-8")
+            second = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                            cache=False, run="Main")
+            assert second["status"] == "ok"
+            assert second["run"]["output"] == ["42"]
+            assert len(second["modules"]["recompiled"]) == 1
+        finally:
+            server.stop()
+        assert iface_corrupt.value == before + 1
+        assert any(path.suffix == ".quarantine"
+                   for path in tmp_path.iterdir())
+
+    def test_parallel_request_survives_iface_fault(self, tmp_path):
+        """The same drill through the fan-out path: a jobs>1 request
+        whose warm hit trips the iface gate still succeeds with
+        byte-identical output."""
+        server = _daemon(module_cache_dir=str(tmp_path), workers=4)
+        try:
+            client = MayaClient(server.address, retries=0)
+            first = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                           cache=False, expand=True,
+                                           jobs=4)
+            assert first["status"] == "ok"
+            faults.configure("cache.module.iface:corrupt:times=1")
+            second = client.compile_modules(MODULE_SOURCES, ["app.Main"],
+                                            cache=False, expand=True,
+                                            jobs=4)
+            assert second["status"] == "ok"
+            assert second["expanded"] == first["expanded"]
+        finally:
+            server.stop()
+
 
 class TestCrashReconstructionFromEventLog:
     """The observability acceptance bar: a contained worker crash must
